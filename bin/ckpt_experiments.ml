@@ -1,0 +1,39 @@
+(* CLI runner for the E1-E10 reproduction experiments. *)
+
+open Cmdliner
+
+let run_experiments ids seed quick =
+  let config = { Ckpt_experiments.Common.seed = Int64.of_int seed; quick } in
+  let experiments =
+    match ids with
+    | [] -> Ckpt_experiments.Registry.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Ckpt_experiments.Registry.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S (use E1..E17)\n" id;
+                exit 2)
+          ids
+  in
+  List.iter (Ckpt_experiments.Registry.run_and_print config) experiments
+
+let ids =
+  let doc = "Experiments to run (E1..E17). Runs all when omitted." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let seed =
+  let doc = "PRNG seed: every table is bit-reproducible for a fixed seed." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let quick =
+  let doc = "Reduced replication counts (CI-sized run)." in
+  Arg.(value & flag & info [ "q"; "quick" ] ~doc)
+
+let cmd =
+  let doc = "regenerate the reproduction experiments of RR-7907" in
+  let info = Cmd.info "ckpt-experiments" ~version:"1.0.0" ~doc in
+  Cmd.v info Term.(const run_experiments $ ids $ seed $ quick)
+
+let () = exit (Cmd.eval cmd)

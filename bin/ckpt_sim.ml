@@ -1,0 +1,84 @@
+(* CLI: Monte-Carlo estimation of the expected makespan of a checkpointed
+   workload, with the exact Proposition 1 value for comparison when the
+   law is Exponential. *)
+
+open Cmdliner
+module Law = Ckpt_dist.Law
+module Platform = Ckpt_failures.Platform
+module Monte_carlo = Ckpt_sim.Monte_carlo
+module Sim_run = Ckpt_sim.Sim_run
+module Expected_time = Ckpt_core.Expected_time
+
+let parse_law spec =
+  match Ckpt_dist.Law_spec.parse spec with
+  | Ok law -> law
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+
+let run work checkpoint recovery downtime law_spec processors runs seed timeline =
+  let law = parse_law law_spec in
+  let platform = Platform.make ~downtime ~processors ~proc_law:law () in
+  let rng = Ckpt_prng.Rng.create ~seed:(Int64.of_int seed) in
+  if timeline then begin
+    (* Show one sample run before the aggregate estimate. *)
+    let stream =
+      Ckpt_failures.Failure_stream.of_platform platform
+        (Ckpt_prng.Rng.substream rng "timeline")
+    in
+    let _, events =
+      Ckpt_sim.Sim_run.run_segments_traced ~downtime
+        ~next_failure:(Ckpt_failures.Failure_stream.next_after stream)
+        [ Sim_run.segment ~work ~checkpoint ~recovery ]
+    in
+    print_string (Ckpt_sim.Timeline.render events)
+  end;
+  let estimate =
+    Monte_carlo.estimate_segments ~model:(Monte_carlo.Platform platform) ~downtime ~runs
+      ~rng
+      [ Sim_run.segment ~work ~checkpoint ~recovery ]
+  in
+  Format.printf "platform: %s@." (Platform.to_string platform);
+  Format.printf "simulated E(T) = %a@." Monte_carlo.pp_estimate estimate;
+  (match law with
+  | Law.Exponential { rate } ->
+      let lambda = float_of_int processors *. rate in
+      let exact = Expected_time.expected_v ~work ~checkpoint ~downtime ~recovery ~lambda in
+      Format.printf "exact E(T) (Proposition 1) = %.6f — %s@." exact
+        (if Monte_carlo.contains estimate.Monte_carlo.ci99 exact then
+           "inside the 99% CI"
+         else "OUTSIDE the 99% CI")
+  | _ -> Format.printf "(no closed form for this law; see RR-7907 Section 6)@.")
+
+let farg name doc default =
+  Arg.(value & opt float default & info [ name ] ~docv:(String.uppercase_ascii name) ~doc)
+
+let work = farg "work" "Work duration W." 100.0
+let checkpoint = farg "checkpoint" "Checkpoint cost C." 5.0
+let recovery = farg "recovery" "Recovery cost R." 5.0
+let downtime = farg "downtime" "Downtime D." 1.0
+
+let law_spec =
+  let doc = "Per-processor failure law: exp:<mtbf>, weibull:<shape>:<mean>, lognormal:<sigma>:<mean>." in
+  Arg.(value & opt string "exp:1000" & info [ "law" ] ~docv:"LAW" ~doc)
+
+let processors =
+  Arg.(value & opt int 1 & info [ "p"; "processors" ] ~docv:"P" ~doc:"Processor count.")
+
+let runs =
+  Arg.(value & opt int 50_000 & info [ "n"; "runs" ] ~docv:"N" ~doc:"Monte-Carlo replications.")
+
+let seed = Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let timeline =
+  Arg.(value & flag
+       & info [ "timeline" ] ~doc:"Print the ASCII timeline of one sample run.")
+
+let cmd =
+  let doc = "Monte-Carlo estimate of the expected checkpointed execution time" in
+  let info = Cmd.info "ckpt-sim" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(const run $ work $ checkpoint $ recovery $ downtime $ law_spec $ processors
+          $ runs $ seed $ timeline)
+
+let () = exit (Cmd.eval cmd)

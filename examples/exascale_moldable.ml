@@ -1,0 +1,71 @@
+(* Sizing an exascale run: the Section 3 scaling scenarios.
+
+   A fixed 10^7-second sequential workload can run on 16 to 65536
+   processors. More processors mean less work per node but a linearly
+   higher platform failure rate (lambda = p * lambda_proc), and the
+   checkpoint cost either shrinks with p (per-node I/O bottleneck) or
+   stays constant (shared-store bottleneck). Where is the sweet spot?
+
+     dune exec examples/exascale_moldable.exe
+*)
+
+module Moldable = Ckpt_core.Moldable
+module Approximations = Ckpt_core.Approximations
+module Table = Ckpt_stats.Table
+
+let () =
+  let scenarios =
+    [
+      ("CFD solver, parallel FS",
+       Moldable.scenario ~downtime:120.0 ~total_work:1e7
+         ~workload:Moldable.Perfectly_parallel ~overhead:(Moldable.Proportional 1200.0)
+         ~proc_rate:2e-7 ());
+      ("CFD solver, shared store",
+       Moldable.scenario ~downtime:120.0 ~total_work:1e7
+         ~workload:Moldable.Perfectly_parallel ~overhead:(Moldable.Constant 1200.0)
+         ~proc_rate:2e-7 ());
+      ("climate model (0.01% sequential)",
+       Moldable.scenario ~downtime:120.0 ~total_work:1e7
+         ~workload:(Moldable.Amdahl 1e-4) ~overhead:(Moldable.Constant 1200.0)
+         ~proc_rate:2e-7 ());
+      ("dense LU kernel",
+       Moldable.scenario ~downtime:120.0 ~total_work:1e7
+         ~workload:(Moldable.Numerical_kernel 0.2) ~overhead:(Moldable.Proportional 1200.0)
+         ~proc_rate:2e-7 ());
+    ]
+  in
+  let table =
+    Table.create ~title:"expected completion time E*(p) under optimal checkpointing"
+      ~columns:
+        (("p", Table.Right) :: List.map (fun (label, _) -> (label, Table.Right)) scenarios)
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        (string_of_int p
+        :: List.map
+             (fun (_, s) ->
+               Table.cell_e (Moldable.expected_time s ~p).Approximations.expected_total)
+             scenarios))
+    [ 16; 128; 1024; 8192; 65536 ];
+  Table.print table;
+  let optima =
+    Table.create ~title:"optimal platform size per scenario"
+      ~columns:[ ("scenario", Table.Left); ("p*", Table.Right);
+                 ("E*(p*) (s)", Table.Right); ("checkpoint every (s)", Table.Right) ]
+  in
+  List.iter
+    (fun (label, s) ->
+      let p_star, d = Moldable.optimal_processors s ~max_p:65536 in
+      Table.add_row optima
+        [
+          label; string_of_int p_star; Table.cell_e d.Approximations.expected_total;
+          Table.cell_f d.Approximations.chunk_work;
+        ])
+    scenarios;
+  Table.print optima;
+  print_endline
+    "\nReading: with per-node checkpoint I/O the machine scales out to the full";
+  print_endline
+    "65536 nodes, while a shared checkpoint store caps the useful size at a few";
+  print_endline "thousand nodes — exactly the contrast Section 3 of RR-7907 describes."

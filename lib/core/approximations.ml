@@ -1,0 +1,93 @@
+let young_period ~checkpoint ~mtbf =
+  if checkpoint < 0.0 then invalid_arg "Approximations.young_period: negative checkpoint";
+  if not (mtbf > 0.0) then invalid_arg "Approximations.young_period: mtbf must be positive";
+  sqrt (2.0 *. checkpoint *. mtbf)
+
+let daly_period ~checkpoint ~mtbf =
+  if checkpoint < 0.0 then invalid_arg "Approximations.daly_period: negative checkpoint";
+  if not (mtbf > 0.0) then invalid_arg "Approximations.daly_period: mtbf must be positive";
+  if checkpoint >= 2.0 *. mtbf then mtbf
+  else begin
+    let ratio = checkpoint /. (2.0 *. mtbf) in
+    (sqrt (2.0 *. checkpoint *. mtbf)
+     *. (1.0 +. (sqrt ratio /. 3.0) +. (ratio /. 9.0)))
+    -. checkpoint
+  end
+
+let first_order (p : Expected_time.params) =
+  let total = p.work +. p.checkpoint in
+  total *. (1.0 +. (p.lambda *. (p.recovery +. p.downtime +. (total /. 2.0))))
+
+let second_order (p : Expected_time.params) =
+  let total = p.work +. p.checkpoint in
+  let r = p.recovery and d = p.downtime in
+  let l1 = r +. d +. (total /. 2.0) in
+  let l2 =
+    (r *. r /. 2.0) +. (r *. d) +. ((r +. d) *. total /. 2.0) +. (total *. total /. 6.0)
+  in
+  total *. (1.0 +. (p.lambda *. l1) +. (p.lambda *. p.lambda *. l2))
+
+let bouguerra (p : Expected_time.params) =
+  ((1.0 /. p.lambda) +. p.downtime)
+  *. Float.expm1 (p.lambda *. (p.recovery +. p.work +. p.checkpoint))
+
+type divisible = { chunks : int; chunk_work : float; expected_total : float }
+
+let expected_divisible ~total_work ~chunks ~checkpoint ~downtime ~recovery ~lambda =
+  if chunks <= 0 then invalid_arg "Approximations.expected_divisible: chunks must be positive";
+  if not (total_work > 0.0) then
+    invalid_arg "Approximations.expected_divisible: total_work must be positive";
+  let chunk = total_work /. float_of_int chunks in
+  float_of_int chunks
+  *. Expected_time.expected_v ~work:chunk ~checkpoint ~downtime ~recovery ~lambda
+
+let optimal_divisible ~total_work ~checkpoint ~downtime ~recovery ~lambda =
+  if not (total_work > 0.0) then
+    invalid_arg "Approximations.optimal_divisible: total_work must be positive";
+  if not (lambda > 0.0) then
+    invalid_arg "Approximations.optimal_divisible: lambda must be positive";
+  (* Stationarity in the continuous relaxation: writing x = λW/m, the
+     condition g'(m) = 0 reads (1 − x)·e^(x + λC) = 1, with a unique
+     root in (0, 1) since the left side decreases from e^(λC) >= 1 to 0. *)
+  let lc = lambda *. checkpoint in
+  let f x = ((1.0 -. x) *. exp (x +. lc)) -. 1.0 in
+  let m_cont =
+    if f 0.0 <= 0.0 then
+      (* λC = 0 and the root degenerates to x = 0: one huge chunk is
+         never forced; the minimum is at m = ∞ only when C = 0, where
+         overhead decreases monotonically; practically take x -> 0.
+         Guard: with C = 0 the optimal m is unbounded in the continuous
+         relaxation, but the integer cost is flat as m -> ∞; cap at W·λ
+         chunk granularity. *)
+      infinity
+    else begin
+      let lo = ref 0.0 and hi = ref (1.0 -. 1e-15) in
+      for _ = 1 to 200 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if f mid > 0.0 then lo := mid else hi := mid
+      done;
+      let x = 0.5 *. (!lo +. !hi) in
+      lambda *. total_work /. x
+    end
+  in
+  let eval m = expected_divisible ~total_work ~chunks:m ~checkpoint ~downtime ~recovery ~lambda in
+  let candidates =
+    if m_cont = infinity then [ 1; 1024; 65536 ]
+    else begin
+      let base = int_of_float (Float.floor m_cont) in
+      [ Stdlib.max 1 base; Stdlib.max 1 (base + 1) ]
+    end
+  in
+  let best =
+    List.fold_left
+      (fun acc m ->
+        let cost = eval m in
+        match acc with
+        | Some (_, best_cost) when best_cost <= cost -> acc
+        | _ -> Some (m, cost))
+      None candidates
+  in
+  match best with
+  | None -> assert false
+  | Some (chunks, expected_total) ->
+      { chunks; chunk_work = total_work /. float_of_int chunks; expected_total }

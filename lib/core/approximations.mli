@@ -1,0 +1,54 @@
+(** The approximations the paper positions Proposition 1 against
+    (Section 3 and Related work): Young's and Daly's checkpoint-period
+    estimates, first/second-order expansions of the expected execution
+    time, and the Bouguerra et al. formula whose first-attempt recovery
+    the paper identifies as inaccurate. Also the optimal divisible-load
+    segmentation under the exact formula, used both by the independent-
+    task heuristics and by the moldable-task scenarios. *)
+
+val young_period : checkpoint:float -> mtbf:float -> float
+(** Young's first-order optimal checkpoint period: sqrt(2·C·μ)
+    (Young 1974). Requires C >= 0 and μ > 0. *)
+
+val daly_period : checkpoint:float -> mtbf:float -> float
+(** Daly's higher-order period estimate (Daly 2006):
+    sqrt(2Cμ)·[1 + (1/3)·sqrt(C/(2μ)) + (1/9)·(C/(2μ))] − C when
+    C < 2μ, and μ otherwise. *)
+
+val first_order : Expected_time.params -> float
+(** First-order (in λ) expansion of the exact expected time:
+    (W+C)·(1 + λ·(R + D + (W+C)/2)). This is the accuracy a
+    Young-style analysis attains. *)
+
+val second_order : Expected_time.params -> float
+(** Second-order expansion, the accuracy of Daly-style analyses. *)
+
+val bouguerra : Expected_time.params -> float
+(** The formula of Bouguerra et al. (2010), in which a recovery
+    precedes {e every} attempt, including the first:
+    (1/λ + D)·(e^(λ(R+W+C)) − 1). Exceeds the exact value by
+    (1/λ + D)·(e^(λR) − 1); coincides with it when R = 0. *)
+
+type divisible = {
+  chunks : int;  (** Optimal number m of equal chunks. *)
+  chunk_work : float;  (** W_total / m. *)
+  expected_total : float;  (** m · E(T(W/m, C, D, R, λ)). *)
+}
+
+val expected_divisible :
+  total_work:float -> chunks:int -> checkpoint:float -> downtime:float -> recovery:float ->
+  lambda:float -> float
+(** Expected total time when a divisible load is cut into [chunks] equal
+    pieces, each followed by a checkpoint (every piece also pays the
+    recovery exponent, as in the paper's Proposition 2 analysis). *)
+
+val optimal_divisible :
+  total_work:float -> checkpoint:float -> downtime:float -> recovery:float ->
+  lambda:float -> divisible
+(** Exact integer minimisation of {!expected_divisible} over the number
+    of chunks. The continuous relaxation m ↦ m(e^(λ(W/m+C)) − 1) is
+    convex (shown in the Proposition 2 proof), so the optimum is found
+    by bisection on the stationarity condition
+    (1 − λW/m)·e^(λ(W/m+C)) = 1 followed by a floor/ceil check.
+    When [checkpoint = 0] the continuous optimum is unbounded (overhead
+    vanishes as m → ∞); a large finite segmentation is returned. *)

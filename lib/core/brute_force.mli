@@ -1,0 +1,34 @@
+(** Exact reference solvers by exhaustive search. These are the ground
+    truth against which the dynamic program (Proposition 3) and the
+    NP-hardness reduction (Proposition 2) are validated. All are
+    exponential and guarded by instance-size checks. *)
+
+val chain_best : ?max_size:int -> Chain_problem.t -> Chain_dp.solution
+(** Minimum expected makespan over all 2^(n-1) checkpoint placements of
+    a chain (the final checkpoint being mandatory). Raises
+    [Invalid_argument] beyond [max_size] tasks (default 22). *)
+
+val chain_all : Chain_problem.t -> (Schedule.t * float) list
+(** Every placement with its exact expected makespan, sorted by
+    increasing expectation. For small chains only (same guard as
+    {!chain_best} with the default limit). *)
+
+val partition_best :
+  ?max_size:int ->
+  lambda:float -> checkpoint:float -> recovery:float -> downtime:float ->
+  float array -> float
+(** Optimal expected makespan for {e independent} tasks with uniform
+    checkpoint/recovery costs (the Proposition 2 setting). Since every
+    segment's cost e^(λC)·(1/λ+D)·(e^(λ(T_i+C)) − 1) depends only on
+    the {e set} of tasks it contains, the optimum over orderings and
+    placements equals the optimum over set partitions, computed here by
+    a O(3^n) subset dynamic program. Default [max_size] is 16. *)
+
+val independent_exhaustive :
+  ?max_size:int ->
+  ?downtime:float -> ?initial_recovery:float -> lambda:float -> Ckpt_dag.Task.t list ->
+  float * Schedule.t
+(** Fully general independent-task optimum (heterogeneous C_i, R_i):
+    enumerate all orderings and, for each, place checkpoints optimally
+    with the chain DP. Factorial cost; default [max_size] is 8.
+    [initial_recovery] defaults to 0. *)

@@ -1,0 +1,127 @@
+module Law = Ckpt_dist.Law
+module Task = Ckpt_dag.Task
+
+let expected_saved_work ~law (schedule : Schedule.t) =
+  let problem = schedule.Schedule.problem in
+  let tasks = problem.Chain_problem.tasks in
+  let acc = Ckpt_stats.Kahan.create () in
+  let elapsed = ref 0.0 in
+  List.iter
+    (fun (first, last) ->
+      let work = Chain_problem.segment_work problem ~first ~last in
+      elapsed := !elapsed +. work +. tasks.(last).Task.checkpoint_cost;
+      Ckpt_stats.Kahan.add acc (work *. Law.survival law !elapsed))
+    (Schedule.segments schedule);
+  Ckpt_stats.Kahan.sum acc
+
+let exhaustive_best ?(max_size = 22) ~law problem =
+  let n = Chain_problem.size problem in
+  if n > max_size then
+    invalid_arg
+      (Printf.sprintf "Btw.exhaustive_best: instance size %d exceeds the guard %d" n
+         max_size);
+  let best = ref None in
+  for mask = 0 to (1 lsl (n - 1)) - 1 do
+    let placement = Array.init n (fun i -> i = n - 1 || mask land (1 lsl i) <> 0) in
+    let schedule = Schedule.make problem placement in
+    let value = expected_saved_work ~law schedule in
+    match !best with
+    | Some (_, best_value) when best_value >= value -> ()
+    | _ -> best := Some (schedule, value)
+  done;
+  match !best with Some result -> result | None -> assert false
+
+let as_int what x =
+  if Float.is_integer x && x >= 0.0 && x < 1e9 then int_of_float x
+  else
+    invalid_arg
+      (Printf.sprintf "Btw.pseudo_polynomial_best: %s %g is not a small non-negative integer"
+         what x)
+
+let pseudo_polynomial_best ?(max_total = 200_000) ~law problem =
+  let n = Chain_problem.size problem in
+  let tasks = problem.Chain_problem.tasks in
+  let works = Array.map (fun (t : Task.t) -> as_int "work" t.Task.work) tasks in
+  let costs =
+    Array.map (fun (t : Task.t) -> as_int "checkpoint cost" t.Task.checkpoint_cost) tasks
+  in
+  let total = Array.fold_left ( + ) 0 works + Array.fold_left ( + ) 0 costs in
+  if total > max_total then
+    invalid_arg
+      (Printf.sprintf "Btw.pseudo_polynomial_best: total duration %d exceeds the guard %d"
+         total max_total);
+  (* M(x, t) = best additional saved work for tasks x.. starting at
+     integer elapsed time t; memoized over the (few) reachable states. *)
+  let memo : (int * int, float * int) Hashtbl.t = Hashtbl.create 1024 in
+  let rec solve x t =
+    if x = n then (0.0, -1)
+    else begin
+      match Hashtbl.find_opt memo (x, t) with
+      | Some result -> result
+      | None ->
+          let best = ref neg_infinity and best_j = ref x in
+          let segment_work = ref 0 in
+          for j = x to n - 1 do
+            segment_work := !segment_work + works.(j);
+            let finish = t + !segment_work + costs.(j) in
+            let saved = float_of_int !segment_work *. Law.survival law (float_of_int finish) in
+            let rest, _ = solve (j + 1) finish in
+            let value = saved +. rest in
+            if value > !best then begin
+              best := value;
+              best_j := j
+            end
+          done;
+          let result = (!best, !best_j) in
+          Hashtbl.add memo (x, t) result;
+          result
+    end
+  in
+  let value, _ = solve 0 0 in
+  (* Reconstruct the placement by re-walking the memo table. *)
+  let placement = Array.make n false in
+  let rec mark x t =
+    if x < n then begin
+      let _, j = solve x t in
+      placement.(j) <- true;
+      let finish =
+        t
+        + Array.fold_left ( + ) 0 (Array.sub works x (j - x + 1))
+        + costs.(j)
+      in
+      mark (j + 1) finish
+    end
+  in
+  mark 0 0;
+  (Schedule.make problem placement, value)
+
+let greedy ~law problem =
+  let n = Chain_problem.size problem in
+  let tasks = problem.Chain_problem.tasks in
+  let placement = Array.make n false in
+  (* One-step lookahead: checkpoint after task i unless folding the next
+     task into the running segment yields more survival-weighted work. *)
+  let elapsed = ref 0.0 and segment_work = ref 0.0 in
+  for i = 0 to n - 2 do
+    let w = tasks.(i).Task.work in
+    segment_work := !segment_work +. w;
+    elapsed := !elapsed +. w;
+    let c_i = tasks.(i).Task.checkpoint_cost in
+    let w_next = tasks.(i + 1).Task.work in
+    let c_next = tasks.(i + 1).Task.checkpoint_cost in
+    let checkpoint_now =
+      (!segment_work *. Law.survival law (!elapsed +. c_i))
+      +. (w_next *. Law.survival law (!elapsed +. c_i +. w_next +. c_next))
+    in
+    let keep_going =
+      (!segment_work +. w_next) *. Law.survival law (!elapsed +. w_next +. c_next)
+    in
+    if checkpoint_now >= keep_going then begin
+      placement.(i) <- true;
+      elapsed := !elapsed +. c_i;
+      segment_work := 0.0
+    end
+  done;
+  placement.(n - 1) <- true;
+  let schedule = Schedule.make problem placement in
+  (schedule, expected_saved_work ~law schedule)

@@ -1,0 +1,41 @@
+(** The Bouguerra–Trystram–Wagner objective (the paper's Related Work
+    [20], which motivated it): with a {e general} failure law, the
+    expected makespan has no closed form, so one instead {e maximises
+    the expected amount of work saved before the first failure}.
+
+    For a placement with checkpointed segments ending at times
+    t_1 < t_2 < ... (cumulative work plus checkpoint costs), the
+    objective is Σ_k W_k · S(t_k), where W_k is the work of segment k
+    and S the survival function of the failure law: segment k's work is
+    saved iff the platform survives past its checkpoint.
+
+    BTW prove this problem weakly NP-complete for uniform distributions
+    and give a pseudo-polynomial dynamic program; both the exhaustive
+    optimum and that DP (for integer durations) are implemented here. *)
+
+val expected_saved_work :
+  law:Ckpt_dist.Law.t -> Schedule.t -> float
+(** The objective value of a placement. The chain's [lambda] is ignored;
+    the first platform failure is drawn from [law] (use a superposed /
+    platform-level law for multi-processor platforms). *)
+
+val exhaustive_best :
+  ?max_size:int -> law:Ckpt_dist.Law.t -> Chain_problem.t -> Schedule.t * float
+(** Maximum over all 2^(n-1) placements (default size guard: 22). *)
+
+val pseudo_polynomial_best :
+  ?max_total:int -> law:Ckpt_dist.Law.t -> Chain_problem.t -> Schedule.t * float
+(** The BTW pseudo-polynomial DP. Requires every task work and
+    checkpoint cost to be a non-negative integer (raises
+    [Invalid_argument] otherwise); states are (task index, integer
+    elapsed time), elapsed bounded by Σ(w_i + C_i), which must not
+    exceed [max_total] (default 200_000). Returns the same optimum as
+    {!exhaustive_best}. *)
+
+val greedy :
+  law:Ckpt_dist.Law.t -> Chain_problem.t -> Schedule.t * float
+(** Polynomial heuristic: scan the chain left to right and checkpoint
+    after task i whenever doing so increases the marginal objective of
+    the running segment (checkpoint when the segment's survival-weighted
+    work would start to decline). Evaluated against the exact optimum in
+    experiment E13. *)

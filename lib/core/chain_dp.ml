@@ -1,0 +1,161 @@
+type solution = { expected_makespan : float; schedule : Schedule.t }
+
+(* Shared post-processing: turn a table of "end of first segment"
+   choices into a Schedule. *)
+let schedule_of_choices problem choices =
+  let n = Chain_problem.size problem in
+  let placement = Array.make n false in
+  let rec mark x =
+    if x < n then begin
+      let j = choices.(x) in
+      placement.(j) <- true;
+      mark (j + 1)
+    end
+  in
+  mark 0;
+  Schedule.make problem placement
+
+let solve problem =
+  let n = Chain_problem.size problem in
+  (* value.(x) = optimal expected time for the suffix x..n-1;
+     choice.(x) = index of the last task of its first segment. *)
+  let value = Array.make (n + 1) 0.0 in
+  let choice = Array.make n 0 in
+  for x = n - 1 downto 0 do
+    let best = ref infinity and best_j = ref x in
+    for j = x to n - 1 do
+      let cur = Chain_problem.segment_expected problem ~first:x ~last:j +. value.(j + 1) in
+      if cur < !best then begin
+        best := cur;
+        best_j := j
+      end
+    done;
+    value.(x) <- !best;
+    choice.(x) <- !best_j
+  done;
+  { expected_makespan = value.(0); schedule = schedule_of_choices problem choice }
+
+(* Faithful transcription of Algorithm 1 (DPMAKESPAN), with 0-based
+   indices: DPMAKESPAN(x) treats tasks x..n-1 and returns the couple
+   (optimal expectation, index of the task preceding the first
+   checkpoint). Memoization makes each instance computed once. *)
+let solve_memoized problem =
+  let n = Chain_problem.size problem in
+  let memo : (float * int) option array = Array.make n None in
+  let rec dpmakespan x =
+    match memo.(x) with
+    | Some result -> result
+    | None ->
+        let result =
+          if x = n - 1 then (Chain_problem.segment_expected problem ~first:x ~last:x, x)
+          else begin
+            (* Initial candidate: no further checkpoint, one segment to
+               the end (checkpointed after the final task). *)
+            let best = ref (Chain_problem.segment_expected problem ~first:x ~last:(n - 1)) in
+            let num_task = ref (n - 1) in
+            for j = x to n - 2 do
+              let exp_succ, _ = dpmakespan (j + 1) in
+              let cur = exp_succ +. Chain_problem.segment_expected problem ~first:x ~last:j in
+              if cur < !best then begin
+                best := cur;
+                num_task := j
+              end
+            done;
+            (!best, !num_task)
+          end
+        in
+        memo.(x) <- Some result;
+        result
+  in
+  let expected_makespan, _ = dpmakespan 0 in
+  let choice = Array.init n (fun x -> snd (dpmakespan x)) in
+  { expected_makespan; schedule = schedule_of_choices problem choice }
+
+let dp_values problem =
+  let n = Chain_problem.size problem in
+  let value = Array.make (n + 1) 0.0 in
+  for x = n - 1 downto 0 do
+    let best = ref infinity in
+    for j = x to n - 1 do
+      let cur = Chain_problem.segment_expected problem ~first:x ~last:j +. value.(j + 1) in
+      if cur < !best then best := cur
+    done;
+    value.(x) <- !best
+  done;
+  value
+
+let solve_bounded problem ~max_segment =
+  if max_segment < 1 then invalid_arg "Chain_dp.solve_bounded: max_segment must be >= 1";
+  let n = Chain_problem.size problem in
+  let value = Array.make (n + 1) 0.0 in
+  let choice = Array.make n 0 in
+  for x = n - 1 downto 0 do
+    let best = ref infinity and best_j = ref x in
+    let last = Stdlib.min (n - 1) (x + max_segment - 1) in
+    for j = x to last do
+      let cur = Chain_problem.segment_expected problem ~first:x ~last:j +. value.(j + 1) in
+      if cur < !best then begin
+        best := cur;
+        best_j := j
+      end
+    done;
+    value.(x) <- !best;
+    choice.(x) <- !best_j
+  done;
+  { expected_makespan = value.(0); schedule = schedule_of_choices problem choice }
+
+(* value.(k).(x): optimal expectation for the suffix x..n-1 using
+   exactly k further checkpoints; infinity when infeasible. *)
+let budget_tables problem max_k =
+  let n = Chain_problem.size problem in
+  let value = Array.make_matrix (max_k + 1) (n + 1) infinity in
+  let choice = Array.make_matrix (max_k + 1) n (-1) in
+  value.(0).(n) <- 0.0;
+  for k = 1 to max_k do
+    for x = n - 1 downto 0 do
+      let best = ref infinity and best_j = ref (-1) in
+      for j = x to n - 1 do
+        let rest = value.(k - 1).(j + 1) in
+        if rest < infinity then begin
+          let cur = Chain_problem.segment_expected problem ~first:x ~last:j +. rest in
+          if cur < !best then begin
+            best := cur;
+            best_j := j
+          end
+        end
+      done;
+      value.(k).(x) <- !best;
+      choice.(k).(x) <- !best_j
+    done
+  done;
+  (value, choice)
+
+let solve_with_budget problem ~checkpoints =
+  let n = Chain_problem.size problem in
+  if checkpoints < 1 || checkpoints > n then
+    invalid_arg "Chain_dp.solve_with_budget: need 1 <= checkpoints <= n";
+  let value, choice = budget_tables problem checkpoints in
+  let placement = Array.make n false in
+  let rec mark k x =
+    if x < n then begin
+      let j = choice.(k).(x) in
+      assert (j >= 0);
+      placement.(j) <- true;
+      mark (k - 1) (j + 1)
+    end
+  in
+  mark checkpoints 0;
+  {
+    expected_makespan = value.(checkpoints).(0);
+    schedule = Schedule.make problem placement;
+  }
+
+let budget_curve problem =
+  let n = Chain_problem.size problem in
+  let value, _ = budget_tables problem n in
+  List.init n (fun i -> (i + 1, value.(i + 1).(0)))
+
+let first_segment_end problem =
+  match Schedule.checkpoint_indices (solve problem).schedule with
+  | first :: _ -> first
+  | [] -> assert false

@@ -1,0 +1,49 @@
+(** Algorithm 1 of the paper: the O(n²) dynamic program computing the
+    optimal checkpoint placement for a linear chain (Proposition 3).
+
+    Two equivalent implementations are provided and cross-checked in the
+    test suite: a faithful transcription of the paper's memoized
+    recursion, and a bottom-up iteration. Both run in O(n²) time and
+    O(n) space thanks to prefix sums of the task weights. *)
+
+type solution = {
+  expected_makespan : float;  (** Optimal expectation E(1, n). *)
+  schedule : Schedule.t;  (** An optimal placement achieving it. *)
+}
+
+val solve : Chain_problem.t -> solution
+(** Bottom-up dynamic program (the fast path). *)
+
+val solve_memoized : Chain_problem.t -> solution
+(** Faithful transcription of the paper's Algorithm 1 (recursive,
+    memoized). Returns the same solution as {!solve}. *)
+
+val dp_values : Chain_problem.t -> float array
+(** [dp_values problem] is the table E of optimal expected times for
+    the suffixes: element x is the optimal expectation for executing
+    tasks x..n-1 (element n is 0). Exposed for tests and analysis. *)
+
+val solve_bounded : Chain_problem.t -> max_segment:int -> solution
+(** Optimal placement among those whose segments contain at most
+    [max_segment] tasks, in O(n·max_segment) time — the scalable path
+    for very long chains (n in the 10^5 range, where the O(n²) DP is
+    impractical). Equals {!solve} whenever [max_segment] is at least the
+    longest segment of an optimal schedule — in particular whenever
+    [max_segment >= n]. Raises [Invalid_argument] if
+    [max_segment < 1]. *)
+
+val solve_with_budget : Chain_problem.t -> checkpoints:int -> solution
+(** Optimal placement using {e exactly} [checkpoints] checkpoints
+    (including the mandatory final one) — the storage-budget variant:
+    coordinated checkpoints may be limited by stable-storage capacity
+    or I/O reservations. O(n²·k) time. Raises [Invalid_argument] unless
+    1 <= checkpoints <= n. *)
+
+val budget_curve : Chain_problem.t -> (int * float) list
+(** [(k, optimal expectation with exactly k checkpoints)] for
+    k = 1 .. n; its minimum is {!solve}'s value. *)
+
+val first_segment_end : Chain_problem.t -> int
+(** The paper's [numTask] output at the outermost recursion level: the
+    0-based index of the task after which the first checkpoint is taken
+    in an optimal schedule. *)

@@ -1,0 +1,67 @@
+module Task = Ckpt_dag.Task
+
+type t = {
+  tasks : Task.t array;
+  lambda : float;
+  downtime : float;
+  initial_recovery : float;
+  prefix_work : float array;
+}
+
+let build ~downtime ~initial_recovery ~lambda tasks =
+  if Array.length tasks = 0 then invalid_arg "Chain_problem: empty chain";
+  if not (lambda > 0.0) then invalid_arg "Chain_problem: lambda must be positive";
+  if downtime < 0.0 then invalid_arg "Chain_problem: downtime must be non-negative";
+  if initial_recovery < 0.0 then
+    invalid_arg "Chain_problem: initial_recovery must be non-negative";
+  let n = Array.length tasks in
+  let prefix_work = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    prefix_work.(i + 1) <- prefix_work.(i) +. tasks.(i).Task.work
+  done;
+  { tasks; lambda; downtime; initial_recovery; prefix_work }
+
+let make ?(downtime = 0.0) ?(initial_recovery = 0.0) ~lambda task_list =
+  let tasks = Array.of_list (List.mapi (fun i task -> Task.with_id task i) task_list) in
+  build ~downtime ~initial_recovery ~lambda tasks
+
+let of_dag ?downtime ?initial_recovery ~lambda dag =
+  match Ckpt_dag.Dag.is_chain dag with
+  | None -> invalid_arg "Chain_problem.of_dag: DAG is not a linear chain"
+  | Some chain_tasks -> make ?downtime ?initial_recovery ~lambda chain_tasks
+
+let uniform ?(downtime = 0.0) ?initial_recovery ~lambda ~checkpoint ~recovery works =
+  let initial_recovery =
+    match initial_recovery with Some r0 -> r0 | None -> recovery
+  in
+  let tasks =
+    List.mapi
+      (fun i work ->
+        Task.make ~id:i ~work ~checkpoint_cost:checkpoint ~recovery_cost:recovery ())
+      works
+  in
+  make ~downtime ~initial_recovery ~lambda tasks
+
+let size t = Array.length t.tasks
+let total_work t = t.prefix_work.(size t)
+
+let segment_work t ~first ~last =
+  if first < 0 || last >= size t || first > last then
+    invalid_arg "Chain_problem.segment_work: bad segment bounds";
+  t.prefix_work.(last + 1) -. t.prefix_work.(first)
+
+let recovery_before t x =
+  if x < 0 || x >= size t then invalid_arg "Chain_problem.recovery_before: bad index";
+  if x = 0 then t.initial_recovery else t.tasks.(x - 1).Task.recovery_cost
+
+let segment_expected t ~first ~last =
+  let work = segment_work t ~first ~last in
+  Expected_time.expected_v ~work ~checkpoint:t.tasks.(last).Task.checkpoint_cost
+    ~downtime:t.downtime ~recovery:(recovery_before t first) ~lambda:t.lambda
+
+let with_lambda t lambda =
+  build ~downtime:t.downtime ~initial_recovery:t.initial_recovery ~lambda t.tasks
+
+let pp fmt t =
+  Format.fprintf fmt "Chain(n=%d, W=%g, lambda=%g, D=%g, R0=%g)" (size t) (total_work t)
+    t.lambda t.downtime t.initial_recovery

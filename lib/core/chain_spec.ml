@@ -1,0 +1,108 @@
+module Task = Ckpt_dag.Task
+
+exception Parse_error of string
+
+let parse_error source line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (Printf.sprintf "%s:%d: %s" source line msg)))
+    fmt
+
+type accumulator = {
+  mutable lambda : float option;
+  mutable downtime : float;
+  mutable initial_recovery : float;
+  mutable tasks : Task.t list;  (* reversed *)
+  mutable next_id : int;
+}
+
+let float_field source line name value =
+  match float_of_string_opt value with
+  | Some v -> v
+  | None -> parse_error source line "%s: not a number: %S" name value
+
+let parse_line source acc line_no line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then ()
+  else begin
+    match List.filter (( <> ) "") (String.split_on_char ' ' line) with
+    | [ "lambda"; v ] -> acc.lambda <- Some (float_field source line_no "lambda" v)
+    | [ "downtime"; v ] -> acc.downtime <- float_field source line_no "downtime" v
+    | [ "initial_recovery"; v ] ->
+        acc.initial_recovery <- float_field source line_no "initial_recovery" v
+    | "task" :: work :: checkpoint :: recovery :: rest ->
+        let name =
+          match rest with
+          | [] -> None
+          | [ name ] -> Some name
+          | _ -> parse_error source line_no "task: too many fields"
+        in
+        let task =
+          try
+            Task.make ~id:acc.next_id ?name
+              ~work:(float_field source line_no "work" work)
+              ~checkpoint_cost:(float_field source line_no "checkpoint_cost" checkpoint)
+              ~recovery_cost:(float_field source line_no "recovery_cost" recovery)
+              ()
+          with Invalid_argument msg -> parse_error source line_no "%s" msg
+        in
+        acc.next_id <- acc.next_id + 1;
+        acc.tasks <- task :: acc.tasks
+    | _ -> parse_error source line_no "cannot parse %S" line
+  end
+
+let finish ?lambda_override source acc =
+  let lambda =
+    match (lambda_override, acc.lambda) with
+    | Some l, _ -> l
+    | None, Some l -> l
+    | None, None -> raise (Parse_error (source ^ ": missing `lambda` directive"))
+  in
+  if acc.tasks = [] then raise (Parse_error (source ^ ": spec contains no task"));
+  try
+    Chain_problem.make ~downtime:acc.downtime ~initial_recovery:acc.initial_recovery
+      ~lambda (List.rev acc.tasks)
+  with Invalid_argument msg -> raise (Parse_error (source ^ ": " ^ msg))
+
+let empty () =
+  { lambda = None; downtime = 0.0; initial_recovery = 0.0; tasks = []; next_id = 0 }
+
+let parse_lines ?lambda source lines =
+  let acc = empty () in
+  List.iteri (fun i line -> parse_line source acc (i + 1) line) lines;
+  finish ?lambda_override:lambda source acc
+
+let parse_string ?(source = "<string>") text =
+  parse_lines source (String.split_on_char '\n' text)
+
+let parse_file_with_lambda ?lambda path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      parse_lines ?lambda path (read []))
+
+let parse_file path = parse_file_with_lambda path
+
+let to_string (problem : Chain_problem.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# checkpoint-workflows chain spec\n";
+  Buffer.add_string buf (Printf.sprintf "lambda %.17g\n" problem.Chain_problem.lambda);
+  Buffer.add_string buf (Printf.sprintf "downtime %.17g\n" problem.Chain_problem.downtime);
+  Buffer.add_string buf
+    (Printf.sprintf "initial_recovery %.17g\n" problem.Chain_problem.initial_recovery);
+  Array.iter
+    (fun (task : Task.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "task %.17g %.17g %.17g %s\n" task.Task.work
+           task.Task.checkpoint_cost task.Task.recovery_cost task.Task.name))
+    problem.Chain_problem.tasks;
+  Buffer.contents buf
+
+let save problem path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string problem))

@@ -1,0 +1,35 @@
+(** Plain-text description of chain instances, so workloads can be
+    version-controlled and fed to the [ckpt-chain] CLI.
+
+    Format (one directive per line, ['#'] starts a comment):
+    {v
+    lambda 0.01
+    downtime 0.5
+    initial_recovery 0.0
+    task <work> <checkpoint_cost> <recovery_cost> [name]
+    task ...
+    v}
+
+    [lambda] is mandatory (unless overridden programmatically); the
+    other scalars default to 0. Tasks appear in chain order. *)
+
+exception Parse_error of string
+(** Carries "file:line: message". *)
+
+val parse_string : ?source:string -> string -> Chain_problem.t
+(** Parse a spec from a string. [source] names the input in error
+    messages (default ["<string>"]). *)
+
+val parse_file : string -> Chain_problem.t
+(** Parse a spec file. *)
+
+val parse_file_with_lambda : ?lambda:float -> string -> Chain_problem.t
+(** Like {!parse_file}, with an optional failure-rate override (allows
+    specs without a [lambda] line). *)
+
+val to_string : Chain_problem.t -> string
+(** Render a problem back to the spec format ({!parse_string} of the
+    result round-trips). *)
+
+val save : Chain_problem.t -> string -> unit
+(** Write {!to_string} to a file. *)

@@ -1,0 +1,87 @@
+(** Checkpoint scheduling for arbitrary DAGs under the paper's full
+    parallelism assumption: every task runs on the whole platform, so a
+    schedule is a linearization of the DAG plus a checkpoint placement
+    on it. The ordering problem is NP-hard in general (Proposition 2,
+    already for independent tasks); this module offers the exact
+    solution for small DAGs (enumerate linearizations, DP on each) and
+    heuristic linearizations for larger ones.
+
+    It also implements the first Section 6 extension: checkpoint costs
+    that depend on the {e live set} — the tasks whose outputs must be
+    saved because some successor has not executed yet — rather than on
+    the last task only. *)
+
+type cost_model =
+  | Task_costs
+      (** Section 2 model: a checkpoint after task T_i costs
+          [T_i.checkpoint_cost]; recovering from it costs
+          [T_i.recovery_cost]. *)
+  | Live_set of {
+      checkpoint : Ckpt_dag.Task.t list -> float;
+      recovery : Ckpt_dag.Task.t list -> float;
+    }
+      (** Section 6 model. After position k of a linearization, the
+          {e live set} is the set of executed tasks having at least one
+          unexecuted successor, together with the executed sink tasks
+          (their outputs are the workflow result). [checkpoint] prices
+          saving that set; [recovery] prices restoring it. For a linear
+          chain the live set is always the singleton of the last
+          executed task, so [Task_costs] is fully general there —
+          exactly the paper's remark. *)
+
+val live_set : Ckpt_dag.Dag.t -> Ckpt_dag.Task.id list -> position:int -> Ckpt_dag.Task.t list
+(** The live set after executing the first [position+1] tasks of the
+    linearization (0-based position of the last executed task),
+    in execution order. *)
+
+val chain_of_linearization :
+  ?downtime:float -> ?initial_recovery:float -> ?cost_model:cost_model ->
+  lambda:float -> Ckpt_dag.Dag.t -> Ckpt_dag.Task.id list -> Chain_problem.t
+(** The chain instance induced by a linearization: position k carries
+    the work of the k-th executed task and the checkpoint/recovery
+    costs given by the cost model. Raises [Invalid_argument] if the id
+    list is not a linearization of the DAG. Default cost model:
+    [Task_costs]. *)
+
+type solution = {
+  order : Ckpt_dag.Task.id list;
+  placement : Schedule.t;
+  expected_makespan : float;
+}
+
+val solve_order :
+  ?downtime:float -> ?initial_recovery:float -> ?cost_model:cost_model ->
+  lambda:float -> Ckpt_dag.Dag.t -> Ckpt_dag.Task.id list -> solution
+(** Optimal placement (chain DP) for one given linearization. *)
+
+val exact_small :
+  ?downtime:float -> ?initial_recovery:float -> ?cost_model:cost_model ->
+  ?max_linearizations:int -> lambda:float -> Ckpt_dag.Dag.t -> solution
+(** Best over {e all} linearizations (each solved by the chain DP).
+    Raises [Invalid_argument] if the DAG admits more than
+    [max_linearizations] (default 50_000) topological orders. *)
+
+type strategy =
+  | Deterministic  (** Kahn's order, smallest id first. *)
+  | Heaviest_first  (** Among ready tasks, largest work first. *)
+  | Lightest_first  (** Among ready tasks, smallest work first. *)
+  | Critical_path  (** Largest remaining path to a sink first. *)
+
+val linearize : strategy -> Ckpt_dag.Dag.t -> Ckpt_dag.Task.id list
+(** A topological order according to the list-scheduling strategy. *)
+
+val solve_heuristic :
+  ?downtime:float -> ?initial_recovery:float -> ?cost_model:cost_model ->
+  ?strategies:strategy list -> lambda:float -> Ckpt_dag.Dag.t -> solution
+(** The best solution among the listed strategies' linearizations
+    (default: all four). *)
+
+val local_search :
+  ?downtime:float -> ?initial_recovery:float -> ?cost_model:cost_model ->
+  ?iterations:int -> rng:Ckpt_prng.Rng.t -> lambda:float -> Ckpt_dag.Dag.t -> solution
+(** Hill-climbing over linearizations: start from {!solve_heuristic}'s
+    best order, then repeatedly try precedence-preserving adjacent
+    transpositions (chosen at random), re-optimising the placement with
+    the chain DP after each move and keeping improvements. [iterations]
+    (default 200) bounds the number of candidate moves. Never worse than
+    {!solve_heuristic}. *)

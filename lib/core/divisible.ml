@@ -1,0 +1,71 @@
+type params = {
+  total_work : float;
+  checkpoint : float;
+  downtime : float;
+  recovery : float;
+  lambda : float;
+}
+
+let make ?(downtime = 0.0) ?(recovery = 0.0) ~total_work ~checkpoint ~lambda () =
+  if not (total_work > 0.0) then invalid_arg "Divisible.make: total_work must be positive";
+  if checkpoint < 0.0 || downtime < 0.0 || recovery < 0.0 then
+    invalid_arg "Divisible.make: durations must be non-negative";
+  if not (lambda > 0.0) then invalid_arg "Divisible.make: lambda must be positive";
+  { total_work; checkpoint; downtime; recovery; lambda }
+
+let chunks_of_period p ~tau =
+  if not (tau > 0.0) then invalid_arg "Divisible.chunks_of_period: tau must be positive";
+  Stdlib.max 1 (int_of_float (Float.round (p.total_work /. tau)))
+
+let expected_chunks p chunks =
+  Approximations.expected_divisible ~total_work:p.total_work ~chunks
+    ~checkpoint:p.checkpoint ~downtime:p.downtime ~recovery:p.recovery ~lambda:p.lambda
+
+let expected_with_period p ~tau = expected_chunks p (chunks_of_period p ~tau)
+
+let optimal p =
+  Approximations.optimal_divisible ~total_work:p.total_work ~checkpoint:p.checkpoint
+    ~downtime:p.downtime ~recovery:p.recovery ~lambda:p.lambda
+
+let of_period p tau =
+  let chunks = chunks_of_period p ~tau in
+  {
+    Approximations.chunks;
+    chunk_work = p.total_work /. float_of_int chunks;
+    expected_total = expected_chunks p chunks;
+  }
+
+let young p =
+  of_period p (Approximations.young_period ~checkpoint:p.checkpoint ~mtbf:(1.0 /. p.lambda))
+
+let daly p =
+  of_period p (Approximations.daly_period ~checkpoint:p.checkpoint ~mtbf:(1.0 /. p.lambda))
+
+let waste_fraction p ~chunks = 1.0 -. (p.total_work /. expected_chunks p chunks)
+
+let breakdown p ~chunks =
+  if chunks <= 0 then invalid_arg "Divisible.breakdown: chunks must be positive";
+  let chunk =
+    Expected_time.make ~downtime:p.downtime ~recovery:p.recovery
+      ~work:(p.total_work /. float_of_int chunks)
+      ~checkpoint:p.checkpoint ~lambda:p.lambda ()
+  in
+  let b = Expected_time.breakdown chunk in
+  let n = float_of_int chunks in
+  {
+    Expected_time.useful = n *. b.Expected_time.useful;
+    checkpoint = n *. b.Expected_time.checkpoint;
+    lost = n *. b.Expected_time.lost;
+    restore = n *. b.Expected_time.restore;
+  }
+
+let period_sensitivity p ~factors =
+  let opt = optimal p in
+  let tau_star = opt.Approximations.chunk_work in
+  let at_optimum = opt.Approximations.expected_total in
+  List.map
+    (fun factor ->
+      if not (factor > 0.0) then
+        invalid_arg "Divisible.period_sensitivity: factors must be positive";
+      (factor, expected_with_period p ~tau:(factor *. tau_star) /. at_optimum))
+    factors

@@ -1,0 +1,53 @@
+(** Divisible (periodic) checkpointing — the Young/Daly line of related
+    work the paper builds on ([22], [7], [23]): a load W_total that can
+    be cut anywhere, checkpointed every τ units of work.
+
+    Everything here is exact under Proposition 1 (per chunk), making the
+    module the bridge between the classical periodic analyses and the
+    paper's task-based model: {!Ckpt_core.Approximations.optimal_divisible}
+    provides the optimal chunk count; this module adds period-based
+    entry points, the waste decomposition, and the sensitivity analysis
+    of Jones-Daly-DeBardeleben [23]. *)
+
+type params = {
+  total_work : float;  (** W_total > 0. *)
+  checkpoint : float;  (** C >= 0. *)
+  downtime : float;  (** D >= 0. *)
+  recovery : float;  (** R >= 0. *)
+  lambda : float;  (** λ > 0. *)
+}
+
+val make :
+  ?downtime:float -> ?recovery:float -> total_work:float -> checkpoint:float ->
+  lambda:float -> unit -> params
+
+val chunks_of_period : params -> tau:float -> int
+(** Number of equal chunks implied by a target period τ of work between
+    checkpoints: round(W/τ), at least 1. *)
+
+val expected_with_period : params -> tau:float -> float
+(** Expected total time when checkpointing every ≈ τ units of work
+    (equal chunks, {!chunks_of_period}). *)
+
+val optimal : params -> Approximations.divisible
+(** The exact optimum (delegates to {!Approximations.optimal_divisible}). *)
+
+val young : params -> Approximations.divisible
+(** The segmentation induced by Young's period, evaluated exactly. *)
+
+val daly : params -> Approximations.divisible
+(** Same for Daly's higher-order period. *)
+
+val waste_fraction : params -> chunks:int -> float
+(** 1 − W_total / E(total): the fraction of platform time not spent on
+    useful work. *)
+
+val breakdown : params -> chunks:int -> Expected_time.breakdown
+(** Aggregate waste decomposition across the chunks (fields sum to the
+    expected total time). *)
+
+val period_sensitivity : params -> factors:float list -> (float * float) list
+(** For each factor f, the pair (f, ratio of the expected time with
+    period f·tau_opt to the expected time at tau_opt): the cost of
+    running with a mis-estimated period, the question studied in [23].
+    Factors must be positive. *)

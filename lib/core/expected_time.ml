@@ -1,0 +1,103 @@
+type params = {
+  work : float;
+  checkpoint : float;
+  downtime : float;
+  recovery : float;
+  lambda : float;
+}
+
+let make ?(downtime = 0.0) ?(recovery = 0.0) ~work ~checkpoint ~lambda () =
+  if work < 0.0 then invalid_arg "Expected_time.make: work must be non-negative";
+  if checkpoint < 0.0 then invalid_arg "Expected_time.make: checkpoint must be non-negative";
+  if downtime < 0.0 then invalid_arg "Expected_time.make: downtime must be non-negative";
+  if recovery < 0.0 then invalid_arg "Expected_time.make: recovery must be non-negative";
+  if not (lambda > 0.0) then invalid_arg "Expected_time.make: lambda must be positive";
+  { work; checkpoint; downtime; recovery; lambda }
+
+let expected p =
+  (* e^(λR) (1/λ + D) (e^(λ(W+C)) − 1), with the last factor as
+     expm1 to avoid catastrophic cancellation for small λ(W+C). *)
+  exp (p.lambda *. p.recovery)
+  *. ((1.0 /. p.lambda) +. p.downtime)
+  *. Float.expm1 (p.lambda *. (p.work +. p.checkpoint))
+
+let expected_v ~work ~checkpoint ~downtime ~recovery ~lambda =
+  expected (make ~downtime ~recovery ~work ~checkpoint ~lambda ())
+
+let expected_lost p =
+  let total = p.work +. p.checkpoint in
+  if not (total > 0.0) then invalid_arg "Expected_time.expected_lost: W + C must be positive";
+  (1.0 /. p.lambda) -. (total /. Float.expm1 (p.lambda *. total))
+
+let expected_recovery p =
+  let elr = exp (p.lambda *. p.recovery) in
+  (p.downtime *. elr) +. (Float.expm1 (p.lambda *. p.recovery) /. p.lambda)
+
+let expected_failures p =
+  Float.expm1 (p.lambda *. (p.work +. p.checkpoint)) *. exp (p.lambda *. p.recovery)
+
+let success_probability p = exp (-.p.lambda *. (p.work +. p.checkpoint))
+
+let overhead_ratio p =
+  if not (p.work > 0.0) then invalid_arg "Expected_time.overhead_ratio: work must be positive";
+  (expected p /. p.work) -. 1.0
+
+let failure_free_time p = p.work +. p.checkpoint
+
+type breakdown = { useful : float; checkpoint : float; lost : float; restore : float }
+
+let breakdown p =
+  let growth = Float.expm1 (p.lambda *. (p.work +. p.checkpoint)) in
+  {
+    useful = p.work;
+    checkpoint = p.checkpoint;
+    lost = (if p.work +. p.checkpoint > 0.0 then growth *. expected_lost p else 0.0);
+    restore = growth *. expected_recovery p;
+  }
+
+(* First and second moments of (X | X < a) for X ~ Exp(lambda): the
+   time lost to a failure known to strike within a window of length a. *)
+let truncated_moments lambda a =
+  assert (a > 0.0);
+  let p_fail = -.Float.expm1 (-.lambda *. a) in
+  let m1 = (1.0 /. lambda) -. (a /. Float.expm1 (lambda *. a)) in
+  let m2 =
+    ((2.0 /. (lambda *. lambda))
+     -. (exp (-.lambda *. a)
+         *. ((a *. a) +. (2.0 *. a /. lambda) +. (2.0 /. (lambda *. lambda)))))
+    /. p_fail
+  in
+  (m1, m2)
+
+(* Second moment of T_rec = downtime + recovery (failures may interrupt
+   the recovery, restarting downtime + recovery): condition on whether
+   the first recovery attempt survives its R-length window. *)
+let recovery_moments p =
+  let m1 = expected_recovery p in
+  let m2 =
+    if p.recovery = 0.0 then p.downtime *. p.downtime
+    else begin
+      let lr1, lr2 = truncated_moments p.lambda p.recovery in
+      let dl1 = p.downtime +. lr1 in
+      let dl2 = (p.downtime *. p.downtime) +. (2.0 *. p.downtime *. lr1) +. lr2 in
+      let growth = Float.expm1 (p.lambda *. p.recovery) in
+      let dr = p.downtime +. p.recovery in
+      (dr *. dr) +. (growth *. (dl2 +. (2.0 *. dl1 *. m1)))
+    end
+  in
+  (m1, m2)
+
+let second_moment p =
+  let a = p.work +. p.checkpoint in
+  if not (a > 0.0) then invalid_arg "Expected_time.second_moment: W + C must be positive";
+  let l1, l2 = truncated_moments p.lambda a in
+  let r1, r2 = recovery_moments p in
+  let mean = expected p in
+  let growth = Float.expm1 (p.lambda *. a) in
+  (a *. a) +. (growth *. (l2 +. r2 +. (2.0 *. ((l1 *. r1) +. ((l1 +. r1) *. mean)))))
+
+let variance p =
+  let mean = expected p in
+  Float.max 0.0 (second_moment p -. (mean *. mean))
+
+let stddev p = sqrt (variance p)

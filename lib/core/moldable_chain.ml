@@ -1,0 +1,169 @@
+module Task = Ckpt_dag.Task
+
+type task = {
+  name : string;
+  total_work : float;
+  workload : Moldable.workload;
+  checkpoint : Moldable.overhead;
+  recovery : Moldable.overhead;
+}
+
+let task_counter = ref 0
+
+let task ?name ?(workload = Moldable.Perfectly_parallel) ?recovery ~total_work ~checkpoint
+    () =
+  if not (total_work > 0.0) then invalid_arg "Moldable_chain.task: total_work must be positive";
+  incr task_counter;
+  let name = match name with Some n -> n | None -> Printf.sprintf "M%d" !task_counter in
+  let recovery = match recovery with Some r -> r | None -> checkpoint in
+  { name; total_work; workload; checkpoint; recovery }
+
+type problem = {
+  tasks : task array;
+  max_processors : int;
+  proc_rate : float;
+  downtime : float;
+  initial_recovery : float;
+  candidates : int list;
+}
+
+let default_candidates max_processors =
+  let rec powers acc p = if p > max_processors then acc else powers (p :: acc) (2 * p) in
+  let base = powers [] 1 in
+  List.sort_uniq compare (max_processors :: base)
+
+let problem ?(downtime = 0.0) ?(initial_recovery = 0.0) ?candidates ~max_processors
+    ~proc_rate task_list =
+  if task_list = [] then invalid_arg "Moldable_chain.problem: empty chain";
+  if max_processors < 1 then
+    invalid_arg "Moldable_chain.problem: max_processors must be >= 1";
+  if not (proc_rate > 0.0) then
+    invalid_arg "Moldable_chain.problem: proc_rate must be positive";
+  if downtime < 0.0 || initial_recovery < 0.0 then
+    invalid_arg "Moldable_chain.problem: negative durations";
+  let candidates =
+    match candidates with
+    | None -> default_candidates max_processors
+    | Some list ->
+        if list = [] then invalid_arg "Moldable_chain.problem: no candidate allocations";
+        List.iter
+          (fun p ->
+            if p < 1 || p > max_processors then
+              invalid_arg "Moldable_chain.problem: candidate out of range")
+          list;
+        List.sort_uniq compare list
+  in
+  { tasks = Array.of_list task_list; max_processors; proc_rate; downtime;
+    initial_recovery; candidates }
+
+let lambda_at t p = float_of_int p *. t.proc_rate
+
+(* prefix.(i) = W(p) summed over tasks 0..i-1, at a fixed allocation:
+   keeps each segment evaluation O(1) inside the O(n²·|candidates|²)
+   dynamic program. *)
+let prefix_work_at t ~p =
+  let n = Array.length t.tasks in
+  let prefix = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <-
+      prefix.(i)
+      +. Moldable.work_of ~workload:t.tasks.(i).workload
+           ~total_work:t.tasks.(i).total_work ~p
+  done;
+  prefix
+
+(* Expected duration (Prop 1) of a segment running tasks first..last at
+   allocation p, recovering (on failure) at cost [recovery]. *)
+let segment_expected_prefixed t ~prefix ~first ~last ~p ~recovery =
+  Expected_time.expected_v
+    ~work:(prefix.(last + 1) -. prefix.(first))
+    ~checkpoint:(Moldable.cost_of t.tasks.(last).checkpoint ~p)
+    ~downtime:t.downtime ~recovery ~lambda:(lambda_at t p)
+
+
+type solution = {
+  expected_makespan : float;
+  segments : (int * int * int) list;
+}
+
+let solve t =
+  let n = Array.length t.tasks in
+  let candidates = Array.of_list t.candidates in
+  let n_cand = Array.length candidates in
+  (* value.(x).(c): optimal expectation for tasks x.. given that the
+     last checkpoint before x was written at allocation candidates.(c)
+     (c = n_cand means "no checkpoint yet": initial recovery). Recovery
+     cost of the first segment starting at x is determined by (x, c). *)
+  let value = Array.make_matrix (n + 1) (n_cand + 1) infinity in
+  let choice = Array.make_matrix n (n_cand + 1) (-1, -1) in
+  let prefixes = Array.map (fun p -> prefix_work_at t ~p) candidates in
+  for c = 0 to n_cand do
+    value.(n).(c) <- 0.0
+  done;
+  let recovery_of x c =
+    if c = n_cand then t.initial_recovery
+    else Moldable.cost_of t.tasks.(x - 1).recovery ~p:candidates.(c)
+  in
+  for x = n - 1 downto 0 do
+    for c = 0 to n_cand do
+      let recovery = if x = 0 then t.initial_recovery else recovery_of x c in
+      let best = ref infinity and best_choice = ref (-1, -1) in
+      for j = x to n - 1 do
+        for pc = 0 to n_cand - 1 do
+          let cost =
+            segment_expected_prefixed t ~prefix:prefixes.(pc) ~first:x ~last:j
+              ~p:candidates.(pc) ~recovery
+            +. value.(j + 1).(pc)
+          in
+          if cost < !best then begin
+            best := cost;
+            best_choice := (j, pc)
+          end
+        done
+      done;
+      value.(x).(c) <- !best;
+      choice.(x).(c) <- !best_choice
+    done
+  done;
+  let rec rebuild acc x c =
+    if x = n then List.rev acc
+    else begin
+      let j, pc = choice.(x).(c) in
+      rebuild ((x, j, candidates.(pc)) :: acc) (j + 1) pc
+    end
+  in
+  { expected_makespan = value.(0).(n_cand); segments = rebuild [] 0 n_cand }
+
+let chain_at t ~processors =
+  if not (List.mem processors t.candidates) then
+    invalid_arg "Moldable_chain.chain_at: allocation is not a candidate";
+  let tasks =
+    Array.to_list
+      (Array.mapi
+         (fun i (task : task) ->
+           Task.make ~id:i ~name:task.name
+             ~work:(Moldable.work_of ~workload:task.workload ~total_work:task.total_work
+                      ~p:processors)
+             ~checkpoint_cost:(Moldable.cost_of task.checkpoint ~p:processors)
+             ~recovery_cost:(Moldable.cost_of task.recovery ~p:processors)
+             ())
+         t.tasks)
+  in
+  Chain_problem.make ~downtime:t.downtime ~initial_recovery:t.initial_recovery
+    ~lambda:(lambda_at t processors) tasks
+
+let solve_fixed_allocation t ~processors = Chain_dp.solve (chain_at t ~processors)
+
+let best_fixed_allocation t =
+  match t.candidates with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun (best_p, best_solution) p ->
+          let solution = solve_fixed_allocation t ~processors:p in
+          if solution.Chain_dp.expected_makespan
+             < best_solution.Chain_dp.expected_makespan
+          then (p, solution)
+          else (best_p, best_solution))
+        (first, solve_fixed_allocation t ~processors:first)
+        rest

@@ -1,0 +1,163 @@
+module Law = Ckpt_dist.Law
+module Task = Ckpt_dag.Task
+module Sim_run = Ckpt_sim.Sim_run
+
+type policy = Sim_run.chain_context -> bool
+
+let static schedule ctx = Schedule.decide_of schedule ctx
+
+let checkpoint_all (_ : Sim_run.chain_context) = true
+let checkpoint_none (_ : Sim_run.chain_context) = false
+
+let work_threshold ~threshold =
+  if not (threshold > 0.0) then
+    invalid_arg "Nonmemoryless.work_threshold: threshold must be positive";
+  fun (ctx : Sim_run.chain_context) -> ctx.Sim_run.work_since_checkpoint >= threshold
+
+let platform_hazard ~law ~processors age =
+  float_of_int processors *. Law.hazard law age
+
+let hazard_young ~law ~processors ~mean_checkpoint =
+  if processors <= 0 then invalid_arg "Nonmemoryless.hazard_young: processors must be positive";
+  if not (mean_checkpoint > 0.0) then
+    invalid_arg "Nonmemoryless.hazard_young: mean_checkpoint must be positive";
+  fun (ctx : Sim_run.chain_context) ->
+    let age = Float.max ctx.Sim_run.since_last_failure mean_checkpoint in
+    let hazard = platform_hazard ~law ~processors age in
+    if hazard <= 0.0 then false
+    else begin
+      let period = Approximations.young_period ~checkpoint:mean_checkpoint ~mtbf:(1.0 /. hazard) in
+      ctx.Sim_run.work_since_checkpoint >= period
+    end
+
+let mrl_young ~law ~processors ~mean_checkpoint =
+  if processors <= 0 then invalid_arg "Nonmemoryless.mrl_young: processors must be positive";
+  if not (mean_checkpoint > 0.0) then
+    invalid_arg "Nonmemoryless.mrl_young: mean_checkpoint must be positive";
+  let mean = Law.mean law in
+  (* Quarter-decade age buckets, residual life integrated once each. *)
+  let cache : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let bucket_of age = int_of_float (Float.round (4.0 *. log10 (Float.max age (mean *. 1e-6)))) in
+  let residual age =
+    let b = bucket_of age in
+    match Hashtbl.find_opt cache b with
+    | Some value -> value
+    | None ->
+        let representative = 10.0 ** (float_of_int b /. 4.0) in
+        let value = Law.mean_residual_life law ~elapsed:representative in
+        Hashtbl.add cache b value;
+        value
+  in
+  fun (ctx : Sim_run.chain_context) ->
+    let mrl = residual ctx.Sim_run.since_last_failure in
+    if mrl <= 0.0 then true
+    else begin
+      let mtbf = mrl /. float_of_int processors in
+      let period = Approximations.young_period ~checkpoint:mean_checkpoint ~mtbf in
+      ctx.Sim_run.work_since_checkpoint >= period
+    end
+
+let conditional_failure_probability ~law ~processors ~age ~window =
+  if age < 0.0 || window < 0.0 then
+    invalid_arg "Nonmemoryless.conditional_failure_probability: negative duration";
+  let s_age = Law.survival law age in
+  if s_age <= 0.0 then 1.0
+  else begin
+    let ratio = Law.survival law (age +. window) /. s_age in
+    1.0 -. (ratio ** float_of_int processors)
+  end
+
+let risk_bound ~law ~processors ~problem ~max_risk =
+  if not (max_risk > 0.0) then
+    invalid_arg "Nonmemoryless.risk_bound: max_risk must be positive";
+  let tasks = problem.Chain_problem.tasks in
+  fun (ctx : Sim_run.chain_context) ->
+    let i = ctx.Sim_run.task_index in
+    if i + 1 >= Array.length tasks then false (* final checkpoint is forced anyway *)
+    else begin
+      let next_work = tasks.(i + 1).Task.work in
+      let p_fail =
+        conditional_failure_probability ~law ~processors
+          ~age:ctx.Sim_run.since_last_failure ~window:next_work
+      in
+      p_fail > 0.5
+      || p_fail *. ctx.Sim_run.work_since_checkpoint > max_risk *. next_work
+    end
+
+(* Expected additional time to execute [todo] work and a [checkpoint],
+   given [done_work] unsaved work at stake, under rate λ. The recursion
+   solved (one level, not a fixed point, because after a failure the
+   situation changes to "re-execute everything", which Proposition 1
+   prices directly):
+
+     E_rem = e^(−λa)·a + (1 − e^(−λa))·(E_lost(a) + E_rec + E_full)
+
+   with a = todo + checkpoint, E_lost(a) = 1/λ − a/(e^(λa) − 1), E_rec
+   the downtime-plus-recovery expectation, and
+   E_full = E(T(done_work + todo, checkpoint)) from Proposition 1. *)
+let remaining_expected ~lambda ~downtime ~recovery ~done_work ~todo ~checkpoint =
+  if not (lambda > 0.0) then
+    invalid_arg "Nonmemoryless.remaining_expected: lambda must be positive";
+  if done_work < 0.0 || todo < 0.0 || checkpoint < 0.0 || downtime < 0.0 || recovery < 0.0
+  then invalid_arg "Nonmemoryless.remaining_expected: negative duration";
+  let a = todo +. checkpoint in
+  if a = 0.0 then 0.0
+  else begin
+    let p_ok = exp (-.lambda *. a) in
+    let e_lost = (1.0 /. lambda) -. (a /. Float.expm1 (lambda *. a)) in
+    let params =
+      Expected_time.make ~downtime ~recovery ~work:(done_work +. todo) ~checkpoint ~lambda
+        ()
+    in
+    let e_rec = Expected_time.expected_recovery params in
+    let e_full = Expected_time.expected params in
+    (p_ok *. a) +. ((1.0 -. p_ok) *. (e_lost +. e_rec +. e_full))
+  end
+
+let hazard_dp ~law ~processors ~problem =
+  if processors <= 0 then invalid_arg "Nonmemoryless.hazard_dp: processors must be positive";
+  let tasks = problem.Chain_problem.tasks in
+  let n = Array.length tasks in
+  let downtime = problem.Chain_problem.downtime in
+  (* Quarter-decade buckets of the effective rate; one DP table per
+     bucket, computed on demand. *)
+  let tables : (int, float array) Hashtbl.t = Hashtbl.create 16 in
+  let mean = Law.mean law in
+  let bucket_of lambda_eff = int_of_float (Float.round (4.0 *. log10 lambda_eff)) in
+  let lambda_of_bucket b = 10.0 ** (float_of_int b /. 4.0) in
+  let table lambda_eff =
+    let b = bucket_of lambda_eff in
+    match Hashtbl.find_opt tables b with
+    | Some t -> t
+    | None ->
+        let t = Chain_dp.dp_values (Chain_problem.with_lambda problem (lambda_of_bucket b)) in
+        Hashtbl.add tables b t;
+        t
+  in
+  fun (ctx : Sim_run.chain_context) ->
+    let i = ctx.Sim_run.task_index in
+    if i + 1 >= n then false (* the mandatory final checkpoint follows anyway *)
+    else begin
+      let age = Float.max ctx.Sim_run.since_last_failure (mean *. 1e-6) in
+      let lambda_eff =
+        Float.min 1e9 (Float.max 1e-12 (platform_hazard ~law ~processors age))
+      in
+      let values = table lambda_eff in
+      let lambda_rep = lambda_of_bucket (bucket_of lambda_eff) in
+      let unsaved = ctx.Sim_run.work_since_checkpoint in
+      let recovery =
+        if ctx.Sim_run.last_checkpoint < 0 then problem.Chain_problem.initial_recovery
+        else tasks.(ctx.Sim_run.last_checkpoint).Task.recovery_cost
+      in
+      let checkpoint_now =
+        remaining_expected ~lambda:lambda_rep ~downtime ~recovery ~done_work:unsaved
+          ~todo:0.0 ~checkpoint:tasks.(i).Task.checkpoint_cost
+        +. values.(i + 1)
+      in
+      let continue_one_more =
+        remaining_expected ~lambda:lambda_rep ~downtime ~recovery ~done_work:unsaved
+          ~todo:tasks.(i + 1).Task.work ~checkpoint:tasks.(i + 1).Task.checkpoint_cost
+        +. values.(i + 2)
+      in
+      checkpoint_now <= continue_one_more
+    end

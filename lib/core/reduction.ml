@@ -1,0 +1,153 @@
+module Rng = Ckpt_prng.Rng
+
+type instance = { items : int array; target : int }
+
+let instance ~items ~target =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 || n mod 3 <> 0 then
+    invalid_arg "Reduction.instance: the item count must be a positive multiple of 3";
+  if target <= 0 then invalid_arg "Reduction.instance: target must be positive";
+  let m = n / 3 in
+  let sum = Array.fold_left ( + ) 0 items in
+  if sum <> m * target then
+    invalid_arg
+      (Printf.sprintf "Reduction.instance: items sum to %d, expected m*T = %d" sum
+         (m * target));
+  Array.iter
+    (fun a ->
+      (* strict T/4 < a < T/2 in integer arithmetic *)
+      if not (4 * a > target && 2 * a < target) then
+        invalid_arg
+          (Printf.sprintf "Reduction.instance: item %d out of (T/4, T/2) for T = %d" a
+             target))
+    items;
+  { items; target }
+
+let groups_count t = Array.length t.items / 3
+
+let solve_3partition t =
+  let n = Array.length t.items in
+  let m = n / 3 in
+  let used = Array.make n false in
+  let groups = ref [] in
+  let rec fill_groups groups_done =
+    if groups_done = m then true
+    else begin
+      (* Fix the first unused item as the triple's anchor: any valid
+         partition contains a triple with it, so no completeness is
+         lost and symmetric permutations are pruned. *)
+      let first =
+        let rec find i = if used.(i) then find (i + 1) else i in
+        find 0
+      in
+      used.(first) <- true;
+      let found = ref false in
+      let j = ref (first + 1) in
+      while (not !found) && !j < n do
+        if (not used.(!j)) && t.items.(first) + t.items.(!j) < t.target then begin
+          used.(!j) <- true;
+          let k = ref (!j + 1) in
+          while (not !found) && !k < n do
+            if (not used.(!k))
+               && t.items.(first) + t.items.(!j) + t.items.(!k) = t.target
+            then begin
+              used.(!k) <- true;
+              if fill_groups (groups_done + 1) then begin
+                groups := [| first; !j; !k |] :: !groups;
+                found := true
+              end
+              else used.(!k) <- false
+            end;
+            incr k
+          done;
+          if not !found then used.(!j) <- false
+        end;
+        incr j
+      done;
+      if not !found then used.(first) <- false;
+      !found
+    end
+  in
+  if fill_groups 0 then Some !groups else None
+
+let random_solvable rng ~m ~target =
+  if m <= 0 then invalid_arg "Reduction.random_solvable: m must be positive";
+  if target < 20 then invalid_arg "Reduction.random_solvable: target must be >= 20";
+  let lo_bound = (target / 4) + 1 in
+  (* strict a > T/4 *)
+  let draw_triple () =
+    let rec attempt () =
+      let a_hi = ((target - 1) / 2) in
+      (* strict a < T/2 *)
+      let a = lo_bound + Rng.int rng (Stdlib.max 1 (a_hi - lo_bound + 1)) in
+      (* b must satisfy T/4 < b and c = T-a-b in (T/4, T/2), i.e.
+         b < 3T/4 - a and b > T/2 - a (the latter is below T/4). *)
+      let b_lo = lo_bound in
+      let b_hi =
+        let upper = ((3 * target) - (4 * a) - 1) / 4 in
+        (* b <= floor((3T - 4a - 1)/4) ensures 4b < 3T - 4a strictly *)
+        Stdlib.min ((target - 1) / 2) upper
+      in
+      if b_hi < b_lo then attempt ()
+      else begin
+        let b = b_lo + Rng.int rng (b_hi - b_lo + 1) in
+        let c = target - a - b in
+        if 4 * c > target && 2 * c < target && 2 * b < target then (a, b, c) else attempt ()
+      end
+    in
+    attempt ()
+  in
+  let items = ref [] in
+  for _ = 1 to m do
+    let a, b, c = draw_triple () in
+    items := a :: b :: c :: !items
+  done;
+  let arr = Array.of_list !items in
+  Rng.shuffle_in_place rng arr;
+  instance ~items:(Array.to_list arr) ~target
+
+type scheduling_instance = {
+  problem : Independent.t;
+  lambda : float;
+  cost : float;
+  bound : float;
+}
+
+let reduce t =
+  let target = float_of_int t.target in
+  let lambda = 1.0 /. (2.0 *. target) in
+  let cost = (log 2.0 -. 0.5) /. lambda in
+  let m = float_of_int (groups_count t) in
+  let bound =
+    m *. (exp (lambda *. cost) /. lambda)
+    *. Float.expm1 (lambda *. (target +. cost))
+  in
+  let works = Array.to_list (Array.map float_of_int t.items) in
+  let problem = Independent.uniform ~lambda ~checkpoint:cost ~recovery:cost works in
+  { problem; lambda; cost; bound }
+
+let schedule_of_partition t groups =
+  let reduced = reduce t in
+  let tasks = reduced.problem.Independent.tasks in
+  let order =
+    List.concat_map (fun triple -> List.map (fun i -> tasks.(i)) (Array.to_list triple))
+      groups
+  in
+  let chain = Independent.chain_of reduced.problem order in
+  let indices = List.init (List.length groups) (fun g -> (3 * g) + 2) in
+  let schedule = Schedule.of_indices chain indices in
+  (schedule, Schedule.expected_makespan schedule)
+
+let optimal_expected t =
+  let reduced = reduce t in
+  let works = Array.map float_of_int t.items in
+  Brute_force.partition_best ~lambda:reduced.lambda ~checkpoint:reduced.cost
+    ~recovery:reduced.cost ~downtime:0.0 works
+
+let verify t =
+  let reduced = reduce t in
+  let optimal = optimal_expected t in
+  let within_bound = optimal <= reduced.bound *. (1.0 +. 1e-9) in
+  let solvable = solve_3partition t <> None in
+  within_bound = solvable

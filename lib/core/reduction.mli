@@ -1,0 +1,59 @@
+(** Proposition 2's NP-completeness reduction, made executable.
+
+    3-PARTITION: given 3m integers a_1..a_3m summing to m·T, with
+    T/4 < a_i < T/2, partition them into m triples each summing to T.
+
+    The reduction builds, from such an instance I1, a scheduling
+    instance I2 with 3m independent tasks of weights w_i = a_i, rate
+    λ = 1/(2T), costs C = R = (ln 2 − 1/2)/λ, no downtime, and bound
+    K = m·(e^(λC)/λ)·(e^(λ(T+C)) − 1); the paper proves that I1 is
+    solvable iff I2 admits a schedule of expected makespan at most K,
+    the optimum being reached only by m segments of equal work T. *)
+
+type instance = private {
+  items : int array;  (** 3m integers. *)
+  target : int;  (** T. *)
+}
+
+val instance : items:int list -> target:int -> instance
+(** Validates: 3m items, each in (T/4, T/2) strictly, summing to m·T. *)
+
+val groups_count : instance -> int
+(** m. *)
+
+val solve_3partition : instance -> int array list option
+(** Exact backtracking solver: [Some triples] (each an array of 3 item
+    indices) if a valid 3-partition exists, [None] otherwise. Intended
+    for small m (the search is exponential). *)
+
+val random_solvable : Ckpt_prng.Rng.t -> m:int -> target:int -> instance
+(** A random instance constructed from m hidden triples, hence
+    guaranteed solvable. [target] must be at least 20 and divisible by
+    4 is not required; items are drawn in (T/4, T/2). *)
+
+type scheduling_instance = {
+  problem : Independent.t;  (** The 3m tasks, uniform C = R, D = 0. *)
+  lambda : float;
+  cost : float;  (** C = R = (ln 2 − 1/2)·2T. *)
+  bound : float;  (** K. *)
+}
+
+val reduce : instance -> scheduling_instance
+(** The polynomial transformation I1 → I2 of the proof. *)
+
+val schedule_of_partition : instance -> int array list -> Schedule.t * float
+(** Forward direction of the proof: from a 3-partition, the schedule
+    that executes each triple consecutively and checkpoints after each,
+    together with its exact expected makespan (equal to K up to
+    floating-point). *)
+
+val optimal_expected : instance -> float
+(** Exact optimal expected makespan of the reduced instance, via the
+    subset dynamic program of {!Brute_force.partition_best}. Guarded to
+    small instances (3m <= 16 tasks, i.e. m <= 5). *)
+
+val verify : instance -> bool
+(** End-to-end check of the equivalence on one instance:
+    [optimal_expected <= bound (within tolerance)] iff
+    [solve_3partition] finds a partition. Returns whether the
+    equivalence holds. *)

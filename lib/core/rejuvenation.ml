@@ -1,0 +1,100 @@
+module Law = Ckpt_dist.Law
+module Task = Ckpt_dag.Task
+
+(* E_rec: expected downtime-free completion time of a recovery window of
+   length r (each failure inside it costs the time to the failure plus
+   a downtime, then the recovery restarts on a rejuvenated platform).
+   The caller accounts for the downtime D that precedes the first
+   recovery attempt. *)
+let recovery_expected ~law ~downtime ~recovery =
+  if recovery <= 0.0 then 0.0
+  else begin
+    let s = Law.survival law recovery in
+    if s <= 0.0 then infinity
+    else begin
+      let f = 1.0 -. s in
+      let lost = Law.expected_min law ~upto:recovery -. (recovery *. s) in
+      ((s *. recovery) +. lost +. (f *. downtime)) /. s
+    end
+  end
+
+let segment_expected ~law ~downtime ~recovery ~work ~checkpoint =
+  let window = work +. checkpoint in
+  if not (window > 0.0) then
+    invalid_arg "Rejuvenation.segment_expected: W + C must be positive";
+  if downtime < 0.0 || recovery < 0.0 then
+    invalid_arg "Rejuvenation.segment_expected: negative durations";
+  let s = Law.survival law window in
+  if s <= 0.0 then infinity
+  else begin
+    let f = 1.0 -. s in
+    let lost = Law.expected_min law ~upto:window -. (window *. s) in
+    let e_rec = recovery_expected ~law ~downtime ~recovery in
+    ((s *. window) +. lost +. (f *. (downtime +. e_rec))) /. s
+  end
+
+type solution = { expected_makespan : float; placement : bool array }
+
+let prefix_work tasks =
+  let n = Array.length tasks in
+  let prefix = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) +. tasks.(i).Task.work
+  done;
+  prefix
+
+let segment_cost ~law ~downtime ~initial_recovery tasks prefix ~first ~last =
+  let recovery =
+    if first = 0 then initial_recovery else tasks.(first - 1).Task.recovery_cost
+  in
+  segment_expected ~law ~downtime ~recovery
+    ~work:(prefix.(last + 1) -. prefix.(first))
+    ~checkpoint:tasks.(last).Task.checkpoint_cost
+
+let evaluate ~law ~downtime ~initial_recovery tasks placement =
+  let n = Array.length tasks in
+  if Array.length placement <> n || n = 0 || not placement.(n - 1) then
+    invalid_arg "Rejuvenation.evaluate: malformed placement";
+  let prefix = prefix_work tasks in
+  let acc = Ckpt_stats.Kahan.create () in
+  let first = ref 0 in
+  for i = 0 to n - 1 do
+    if placement.(i) then begin
+      Ckpt_stats.Kahan.add acc
+        (segment_cost ~law ~downtime ~initial_recovery tasks prefix ~first:!first ~last:i);
+      first := i + 1
+    end
+  done;
+  Ckpt_stats.Kahan.sum acc
+
+let solve ~law ~downtime ~initial_recovery tasks =
+  let n = Array.length tasks in
+  if n = 0 then invalid_arg "Rejuvenation.solve: empty chain";
+  let prefix = prefix_work tasks in
+  let value = Array.make (n + 1) 0.0 in
+  let choice = Array.make n 0 in
+  for x = n - 1 downto 0 do
+    let best = ref infinity and best_j = ref x in
+    for j = x to n - 1 do
+      let cur =
+        segment_cost ~law ~downtime ~initial_recovery tasks prefix ~first:x ~last:j
+        +. value.(j + 1)
+      in
+      if cur < !best then begin
+        best := cur;
+        best_j := j
+      end
+    done;
+    value.(x) <- !best;
+    choice.(x) <- !best_j
+  done;
+  let placement = Array.make n false in
+  let rec mark x =
+    if x < n then begin
+      let j = choice.(x) in
+      placement.(j) <- true;
+      mark (j + 1)
+    end
+  in
+  mark 0;
+  { expected_makespan = value.(0); placement }

@@ -1,0 +1,49 @@
+(** Exact expectations for {e arbitrary} failure laws under the
+    {b full-rejuvenation assumption} — the unstated hypothesis the paper
+    identifies in Bouguerra et al. [12] ("all processors are
+    rejuvenated after each failure and after each checkpoint").
+
+    If every failure resets the platform's failure clock, segments are
+    renewal processes and the expected time to push a window of length
+    a = W + C through satisfies the renewal equation
+
+    {v E = ( S(a)·a + E[min(X,a)] − a·S(a) + F(a)·(D + E_rec) ) / S(a) v}
+
+    (condition on the first failure X; a failed attempt costs the time
+    to the failure plus downtime plus a recovery that obeys the same
+    equation with a = R). The assumption is taken at full strength: the
+    platform is fresh at the start of {e every} phase (each retry, each
+    recovery attempt, each segment). For Exponential laws rejuvenation
+    is invisible (memorylessness) and these formulas reduce {e exactly}
+    to Proposition 1 — a cross-check in the test suite; for general
+    laws they coincide with the rejuvenate-on-failure simulation when
+    D = R = 0 (phases then start exactly at failure instants) and are
+    biased otherwise — pessimistic for decreasing-hazard laws.
+
+    Because segments renew independently under the assumption, the
+    Proposition 3 dynamic program remains valid with this segment cost,
+    giving an "optimal" general-law placement — optimal only in the
+    assumed world. Experiment E17 measures how wrong the assumption is:
+    it simulates those placements without rejuvenation (processors keep
+    their ages) and reports the bias, quantifying the paper's criticism. *)
+
+val segment_expected :
+  law:Ckpt_dist.Law.t -> downtime:float -> recovery:float -> work:float ->
+  checkpoint:float -> float
+(** Expected time to execute [work] + [checkpoint] under the
+    full-rejuvenation renewal model. Requires work + checkpoint > 0. *)
+
+type solution = {
+  expected_makespan : float;  (** Under the rejuvenation assumption. *)
+  placement : bool array;  (** Checkpoint after task i; last always true. *)
+}
+
+val evaluate :
+  law:Ckpt_dist.Law.t -> downtime:float -> initial_recovery:float ->
+  Ckpt_dag.Task.t array -> bool array -> float
+(** Expected makespan of a given placement (assumption world). *)
+
+val solve :
+  law:Ckpt_dist.Law.t -> downtime:float -> initial_recovery:float ->
+  Ckpt_dag.Task.t array -> solution
+(** The O(n²) placement DP with the renewal segment cost. *)

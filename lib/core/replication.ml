@@ -1,0 +1,95 @@
+module Rng = Ckpt_prng.Rng
+module Welford = Ckpt_stats.Welford
+
+type config = {
+  total_work : float;
+  workload : Moldable.workload;
+  checkpoint : Moldable.overhead;
+  recovery : Moldable.overhead;
+  downtime : float;
+  proc_rate : float;
+  processors : int;
+  groups : int;
+}
+
+let config ?(workload = Moldable.Perfectly_parallel) ?recovery ?(downtime = 0.0)
+    ~total_work ~checkpoint ~proc_rate ~processors ~groups () =
+  if not (total_work > 0.0) then invalid_arg "Replication.config: total_work must be positive";
+  if not (proc_rate > 0.0) then invalid_arg "Replication.config: proc_rate must be positive";
+  if downtime < 0.0 then invalid_arg "Replication.config: negative downtime";
+  if processors < 1 || groups < 1 then
+    invalid_arg "Replication.config: processors and groups must be >= 1";
+  if processors mod groups <> 0 then
+    invalid_arg "Replication.config: groups must divide processors";
+  let recovery = match recovery with Some r -> r | None -> checkpoint in
+  { total_work; workload; checkpoint; recovery; downtime; proc_rate; processors; groups }
+
+let group_size t = t.processors / t.groups
+
+let round_parts t ~chunk_work =
+  let p_group = group_size t in
+  let work = Moldable.work_of ~workload:t.workload ~total_work:chunk_work ~p:p_group in
+  let checkpoint = Moldable.cost_of t.checkpoint ~p:p_group in
+  let recovery = Moldable.cost_of t.recovery ~p:p_group in
+  let lambda_group = float_of_int p_group *. t.proc_rate in
+  (work, checkpoint, recovery, lambda_group)
+
+let round_success_probability t ~chunk_work =
+  if not (chunk_work > 0.0) then
+    invalid_arg "Replication.round_success_probability: chunk_work must be positive";
+  let work, checkpoint, _, lambda_group = round_parts t ~chunk_work in
+  let q = exp (-.lambda_group *. (work +. checkpoint)) in
+  1.0 -. ((1.0 -. q) ** float_of_int t.groups)
+
+let expected_chunk t ~chunk_work =
+  let work, checkpoint, recovery, _ = round_parts t ~chunk_work in
+  let ps = round_success_probability t ~chunk_work in
+  let retries = (1.0 /. ps) -. 1.0 in
+  ((work +. checkpoint) /. ps) +. ((t.downtime +. recovery) *. retries)
+
+let expected_total t ~chunks =
+  if chunks < 1 then invalid_arg "Replication.expected_total: chunks must be >= 1";
+  float_of_int chunks
+  *. expected_chunk t ~chunk_work:(t.total_work /. float_of_int chunks)
+
+let optimal_chunks t =
+  (* Unimodal in practice: scan geometrically for a bracket, then walk
+     the integers around the best power of two. *)
+  let eval m = expected_total t ~chunks:m in
+  let best = ref (1, eval 1) in
+  let m = ref 2 in
+  while !m <= 1_048_576 do
+    let v = eval !m in
+    if v < snd !best then best := (!m, v);
+    m := !m * 2
+  done;
+  let center, _ = !best in
+  let lo = Stdlib.max 1 (center / 2) and hi = center * 2 in
+  for k = lo to hi do
+    let v = eval k in
+    if v < snd !best then best := (k, v)
+  done;
+  !best
+
+let simulate_total t ~chunks ~runs rng =
+  if runs <= 0 then invalid_arg "Replication.simulate_total: runs must be positive";
+  let chunk_work = t.total_work /. float_of_int chunks in
+  let work, checkpoint, recovery, _ = round_parts t ~chunk_work in
+  let ps = round_success_probability t ~chunk_work in
+  let acc = Welford.create () in
+  for run = 0 to runs - 1 do
+    let run_rng = Rng.substream rng (Printf.sprintf "rep-%d" run) in
+    let total = ref 0.0 in
+    for _ = 1 to chunks do
+      let rec round () =
+        total := !total +. work +. checkpoint;
+        if Rng.float run_rng >= ps then begin
+          total := !total +. t.downtime +. recovery;
+          round ()
+        end
+      in
+      round ()
+    done;
+    Welford.add acc !total
+  done;
+  acc

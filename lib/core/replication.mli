@@ -1,0 +1,64 @@
+(** Group replication combined with checkpointing — the mechanism the
+    paper's related work ([16], [29], [30]) positions as complementary
+    to rollback-recovery, included here so the trade-off can be
+    explored with the same formula machinery.
+
+    Model (the synchronized-round abstraction of the round-based
+    analyses in [16]): the platform's p processors are split into g
+    groups of p/g; every group executes the same chunk of work
+    concurrently. A round — chunk plus checkpoint, at the {e slower}
+    per-group speed W(p/g) — succeeds if at least one group survives
+    it; otherwise the platform pays downtime + recovery and the round
+    restarts. Rounds are independent (Exponential failures), so with
+    per-round group-survival probability q = e^(−λ(p/g)·(W+C)):
+
+    {v
+    P(round succeeds) = 1 − (1 − q)^g
+    E(T) = (W + C)/ps + (D + R)·(1/ps − 1)
+    v}
+
+    Replication trades throughput (each group is g× slower on parallel
+    work) for a round-success probability that improves exponentially in
+    g — profitable only when failures dominate. *)
+
+type config = private {
+  total_work : float;  (** Sequential load (> 0). *)
+  workload : Moldable.workload;
+  checkpoint : Moldable.overhead;  (** Per-group checkpoint cost model. *)
+  recovery : Moldable.overhead;
+  downtime : float;
+  proc_rate : float;  (** λproc > 0. *)
+  processors : int;  (** p >= 1. *)
+  groups : int;  (** g >= 1, must divide p. *)
+}
+
+val config :
+  ?workload:Moldable.workload -> ?recovery:Moldable.overhead -> ?downtime:float ->
+  total_work:float -> checkpoint:Moldable.overhead -> proc_rate:float ->
+  processors:int -> groups:int -> unit -> config
+(** [recovery] defaults to the checkpoint model; [workload] to perfectly
+    parallel. Raises [Invalid_argument] when [groups] does not divide
+    [processors]. *)
+
+val group_size : config -> int
+(** p / g. *)
+
+val round_success_probability : config -> chunk_work:float -> float
+(** 1 − (1 − q)^g for a chunk of the given (sequential) work. *)
+
+val expected_chunk : config -> chunk_work:float -> float
+(** Expected time to get one chunk checkpointed, under the
+    synchronized-round model. *)
+
+val expected_total : config -> chunks:int -> float
+(** The load cut into equal chunks, each run to completion in rounds. *)
+
+val optimal_chunks : config -> int * float
+(** Integer chunk count minimising {!expected_total} (scan around the
+    continuous shape; the curve is unimodal in practice). Returns
+    (chunks, expected total). *)
+
+val simulate_total :
+  config -> chunks:int -> runs:int -> Ckpt_prng.Rng.t -> Ckpt_stats.Welford.t
+(** Monte-Carlo of the synchronized-round process (Bernoulli rounds),
+    validating the closed form. *)

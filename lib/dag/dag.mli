@@ -1,0 +1,73 @@
+(** Directed acyclic graphs of {!Task.t}, i.e. the application graphs
+    G = (V, E) of Section 2. Immutable after construction. *)
+
+type t
+
+exception Invalid of string
+(** Raised by {!create} on malformed input (bad ids, duplicate edges,
+    cycles). *)
+
+val create : Task.t list -> (Task.id * Task.id) list -> t
+(** [create tasks edges] builds a validated DAG. Tasks must carry ids
+    exactly 0 .. n-1 (any order); edges must connect existing distinct
+    ids, contain no duplicates, and induce no cycle. *)
+
+val of_chain : Task.t list -> t
+(** Chain T1 -> T2 -> ... -> Tn in list order. Tasks are re-indexed
+    0 .. n-1 in that order. *)
+
+val of_independent : Task.t list -> t
+(** Edge-less DAG of independent tasks (re-indexed in list order). *)
+
+val size : t -> int
+val task : t -> Task.id -> Task.t
+val tasks : t -> Task.t array
+(** Tasks indexed by id (a fresh copy). *)
+
+val edges : t -> (Task.id * Task.id) list
+val successors : t -> Task.id -> Task.id list
+val predecessors : t -> Task.id -> Task.id list
+val sources : t -> Task.id list
+(** Tasks without predecessors, in increasing id order. *)
+
+val sinks : t -> Task.id list
+(** Tasks without successors, in increasing id order. *)
+
+val total_work : t -> float
+(** Sum of task weights. *)
+
+val is_chain : t -> Task.t list option
+(** [Some tasks-in-chain-order] iff the DAG is a linear chain (each task
+    has at most one predecessor and one successor, single component path
+    covering all tasks). A single task and the empty DAG count as
+    chains. *)
+
+val is_independent : t -> bool
+(** True iff the DAG has no edge. *)
+
+val topological_order : t -> Task.id list
+(** A deterministic topological order (Kahn's algorithm, smallest id
+    first among ready tasks). *)
+
+val is_linearization : t -> Task.id list -> bool
+(** Does the given permutation of all ids respect every dependence? *)
+
+val all_linearizations : ?limit:int -> t -> Task.id list list
+(** Every topological order of the DAG, up to [limit] (default 100_000);
+    raises [Invalid_argument] if the count exceeds the limit. Intended
+    for the exact solvers on small DAGs. *)
+
+val count_linearizations : ?limit:int -> t -> int
+(** Number of topological orders (same limit semantics). *)
+
+val critical_path : t -> float
+(** Length (total work) of a heaviest path; for a chain this is the
+    total work. *)
+
+val reachable_from : t -> Task.id -> Task.id list
+(** Transitive successors of a task (excluding itself), sorted. *)
+
+val to_dot : t -> string
+(** Graphviz rendering, for documentation and debugging. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+exception Parse_error of string
+
+let parse_error source line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (Printf.sprintf "%s:%d: %s" source line msg)))
+    fmt
+
+let parse_lines source lines =
+  let tasks = ref [] (* reversed *) in
+  let edges = ref [] in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let float_field line_no name value =
+    match float_of_string_opt value with
+    | Some v -> v
+    | None -> parse_error source line_no "%s: not a number: %S" name value
+  in
+  let handle line_no line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then ()
+    else begin
+      match List.filter (( <> ) "") (String.split_on_char ' ' line) with
+      | [ "task"; name; work; checkpoint; recovery ] ->
+          if Hashtbl.mem ids name then parse_error source line_no "duplicate task %S" name;
+          let id = Hashtbl.length ids in
+          Hashtbl.add ids name id;
+          let task =
+            try
+              Task.make ~id ~name
+                ~work:(float_field line_no "work" work)
+                ~checkpoint_cost:(float_field line_no "checkpoint_cost" checkpoint)
+                ~recovery_cost:(float_field line_no "recovery_cost" recovery)
+                ()
+            with Invalid_argument msg -> parse_error source line_no "%s" msg
+          in
+          tasks := task :: !tasks
+      | [ "edge"; src; dst ] ->
+          let resolve name =
+            match Hashtbl.find_opt ids name with
+            | Some id -> id
+            | None -> parse_error source line_no "unknown task %S" name
+          in
+          edges := (resolve src, resolve dst) :: !edges
+      | _ -> parse_error source line_no "cannot parse %S" line
+    end
+  in
+  List.iteri (fun i line -> handle (i + 1) line) lines;
+  if !tasks = [] then raise (Parse_error (source ^ ": spec contains no task"));
+  try Dag.create (List.rev !tasks) (List.rev !edges)
+  with Dag.Invalid msg -> raise (Parse_error (source ^ ": " ^ msg))
+
+let parse_string ?(source = "<string>") text =
+  parse_lines source (String.split_on_char '\n' text)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      parse_lines path (read []))
+
+let to_string dag =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# checkpoint-workflows dag spec\n";
+  Array.iter
+    (fun (task : Task.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "task %s %.17g %.17g %.17g\n" task.Task.name task.Task.work
+           task.Task.checkpoint_cost task.Task.recovery_cost))
+    (Dag.tasks dag);
+  List.iter
+    (fun (src, dst) ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %s %s\n" (Dag.task dag src).Task.name
+           (Dag.task dag dst).Task.name))
+    (Dag.edges dag);
+  Buffer.contents buf
+
+let save dag path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string dag))

@@ -1,0 +1,22 @@
+(** Plain-text description of workflow DAGs, used by the [ckpt-dag] CLI
+    and the tests.
+
+    Format (one directive per line, ['#'] starts a comment):
+    {v
+    task <name> <work> <checkpoint_cost> <recovery_cost>
+    edge <src-name> <dst-name>
+    v}
+
+    Task names must be unique; ids are assigned in declaration order. *)
+
+exception Parse_error of string
+(** Carries "file:line: message". *)
+
+val parse_string : ?source:string -> string -> Dag.t
+val parse_file : string -> Dag.t
+
+val to_string : Dag.t -> string
+(** Render back to the spec format (round-trips through
+    {!parse_string} provided task names are unique and space-free). *)
+
+val save : Dag.t -> string -> unit

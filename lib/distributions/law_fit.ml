@@ -1,0 +1,73 @@
+let check_samples name xs =
+  if Array.length xs < 2 then invalid_arg (name ^ ": need at least two samples");
+  Array.iter (fun x -> if not (x > 0.0) then invalid_arg (name ^ ": samples must be positive")) xs
+
+let exponential xs =
+  check_samples "Law_fit.exponential" xs;
+  let mean = Ckpt_stats.Kahan.sum_array xs /. float_of_int (Array.length xs) in
+  Law.exponential ~rate:(1.0 /. mean)
+
+let weibull xs =
+  check_samples "Law_fit.weibull" xs;
+  let n = float_of_int (Array.length xs) in
+  let mean_log = Ckpt_stats.Kahan.sum_array (Array.map log xs) /. n in
+  (* Profile equation: f(k) = Σ x^k ln x / Σ x^k − 1/k − mean(ln x) = 0,
+     strictly increasing in k; bisection is safe. *)
+  let f k =
+    let sum_xk = ref 0.0 and sum_xk_lnx = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let xk = x ** k in
+        sum_xk := !sum_xk +. xk;
+        sum_xk_lnx := !sum_xk_lnx +. (xk *. log x))
+      xs;
+    (!sum_xk_lnx /. !sum_xk) -. (1.0 /. k) -. mean_log
+  in
+  let scale_for shape =
+    (Ckpt_stats.Kahan.sum_array (Array.map (fun x -> x ** shape) xs)
+     /. float_of_int (Array.length xs))
+    ** (1.0 /. shape)
+  in
+  let lo = ref 0.01 and hi = ref 50.0 in
+  if f !lo > 0.0 then Law.weibull ~shape:!lo ~scale:(scale_for !lo)
+  else begin
+    while f !hi < 0.0 && !hi < 1e4 do
+      hi := !hi *. 2.0
+    done;
+    for _ = 1 to 200 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if f mid < 0.0 then lo := mid else hi := mid
+    done;
+    let shape = 0.5 *. (!lo +. !hi) in
+    Law.weibull ~shape ~scale:(scale_for shape)
+  end
+
+let log_normal xs =
+  check_samples "Law_fit.log_normal" xs;
+  let logs = Array.map log xs in
+  let n = float_of_int (Array.length xs) in
+  let mu = Ckpt_stats.Kahan.sum_array logs /. n in
+  let var =
+    Ckpt_stats.Kahan.sum_array (Array.map (fun l -> (l -. mu) *. (l -. mu)) logs) /. n
+  in
+  Law.log_normal ~mu ~sigma:(Float.max 1e-9 (sqrt var))
+
+let log_likelihood law xs =
+  check_samples "Law_fit.log_likelihood" xs;
+  let acc = Ckpt_stats.Kahan.create () in
+  let degenerate = ref false in
+  Array.iter
+    (fun x ->
+      let density = Law.pdf law x in
+      if density <= 0.0 then degenerate := true else Ckpt_stats.Kahan.add acc (log density))
+    xs;
+  if !degenerate then neg_infinity else Ckpt_stats.Kahan.sum acc
+
+let best_fit xs =
+  check_samples "Law_fit.best_fit" xs;
+  let candidates = [ exponential xs; weibull xs; log_normal xs ] in
+  let scored = List.map (fun law -> (law, log_likelihood law xs)) candidates in
+  List.fold_left
+    (fun (best_law, best_ll) (law, ll) ->
+      if ll > best_ll then (law, ll) else (best_law, best_ll))
+    (List.hd scored) (List.tl scored)

@@ -1,0 +1,24 @@
+(** Maximum-likelihood fitting of failure laws to observed inter-arrival
+    times — the step a practitioner performs between collecting a
+    cluster log ({!Ckpt_failures.Cluster_log}) and scheduling with the
+    Section 6 policies. All fitters require at least two positive
+    samples and raise [Invalid_argument] otherwise. *)
+
+val exponential : float array -> Law.t
+(** MLE: rate = n / Σx. *)
+
+val weibull : float array -> Law.t
+(** MLE via the standard one-dimensional profile equation for the shape
+    (solved by bisection on k in [0.01, 50]), then the closed-form
+    scale. *)
+
+val log_normal : float array -> Law.t
+(** MLE: mu and sigma are the mean and (population) standard deviation
+    of the log-samples. *)
+
+val log_likelihood : Law.t -> float array -> float
+(** Σ log pdf; -infinity if any sample has zero density. *)
+
+val best_fit : float array -> Law.t * float
+(** The best of the three families by log-likelihood, with that
+    log-likelihood. *)

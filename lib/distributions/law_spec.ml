@@ -1,0 +1,49 @@
+let usage =
+  "exp:<mtbf> | weibull:<shape>:<mean> | lognormal:<sigma>:<mean> | uniform:<lo>:<hi> | \
+   gamma:<shape>:<mean>"
+
+let number what s =
+  match float_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: not a number: %S (expected %s)" what s usage)
+
+let ( let* ) = Result.bind
+
+let parse spec =
+  let guard law = try Ok (law ()) with Invalid_argument msg -> Error msg in
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim spec)) with
+  | [ "exp"; mtbf ] ->
+      let* mtbf = number "exp" mtbf in
+      guard (fun () -> Law.exponential ~rate:(1.0 /. mtbf))
+  | [ "weibull"; shape; mean ] ->
+      let* shape = number "weibull shape" shape in
+      let* mean = number "weibull mean" mean in
+      guard (fun () -> Law.weibull_of_mean ~shape ~mean)
+  | [ "lognormal"; sigma; mean ] ->
+      let* sigma = number "lognormal sigma" sigma in
+      let* mean = number "lognormal mean" mean in
+      guard (fun () -> Law.log_normal_of_mean ~sigma ~mean)
+  | [ "uniform"; lo; hi ] ->
+      let* lo = number "uniform lo" lo in
+      let* hi = number "uniform hi" hi in
+      guard (fun () -> Law.uniform ~lo ~hi)
+  | [ "deterministic"; v ] ->
+      let* v = number "deterministic" v in
+      guard (fun () -> Law.deterministic v)
+  | [ "gamma"; shape; mean ] ->
+      let* shape = number "gamma shape" shape in
+      let* mean = number "gamma mean" mean in
+      guard (fun () -> Law.gamma ~shape ~scale:(mean /. shape))
+  | _ -> Error (Printf.sprintf "cannot parse law %S (expected %s)" spec usage)
+
+let parse_exn spec =
+  match parse spec with Ok law -> law | Error msg -> invalid_arg ("Law_spec: " ^ msg)
+
+let to_spec law =
+  match law with
+  | Law.Exponential { rate } -> Printf.sprintf "exp:%g" (1.0 /. rate)
+  | Law.Weibull { shape; _ } -> Printf.sprintf "weibull:%g:%g" shape (Law.mean law)
+  | Law.Log_normal { sigma; _ } -> Printf.sprintf "lognormal:%g:%g" sigma (Law.mean law)
+  | Law.Uniform { lo; hi } -> Printf.sprintf "uniform:%g:%g" lo hi
+  | Law.Gamma { shape; _ } -> Printf.sprintf "gamma:%g:%g" shape (Law.mean law)
+  | Law.Deterministic v -> Printf.sprintf "deterministic:%g" v

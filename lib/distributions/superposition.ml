@@ -1,0 +1,90 @@
+module Rng = Ckpt_prng.Rng
+
+type t = { law : Law.t; ages : float array }
+
+let fresh ~law ~processors =
+  if processors <= 0 then invalid_arg "Superposition.fresh: processors must be positive";
+  (match Law.validate law with
+  | Error msg -> invalid_arg ("Superposition.fresh: " ^ msg)
+  | Ok _ -> ());
+  { law; ages = Array.make processors 0.0 }
+
+let aged ~law ~ages =
+  if Array.length ages = 0 then invalid_arg "Superposition.aged: no processors";
+  Array.iter (fun a -> if a < 0.0 then invalid_arg "Superposition.aged: negative age") ages;
+  (match Law.validate law with
+  | Error msg -> invalid_arg ("Superposition.aged: " ^ msg)
+  | Ok _ -> ());
+  { law; ages = Array.copy ages }
+
+let survival t x =
+  if x <= 0.0 then 1.0
+  else
+    Array.fold_left
+      (fun acc age ->
+        let s_age = Law.survival t.law age in
+        if s_age <= 0.0 then 0.0 else acc *. (Law.survival t.law (age +. x) /. s_age))
+      1.0 t.ages
+
+let cdf t x = 1.0 -. survival t x
+
+let hazard t x =
+  Array.fold_left (fun acc age -> acc +. Law.hazard t.law (age +. x)) 0.0 t.ages
+
+let as_weibull t =
+  match t.law with
+  | Law.Weibull { shape; scale } when Array.for_all (( = ) 0.0) t.ages ->
+      let p = float_of_int (Array.length t.ages) in
+      Some (Law.weibull ~shape ~scale:(scale *. (p ** (-1.0 /. shape))))
+  | _ -> None
+
+let mean t =
+  match t.law with
+  | Law.Exponential { rate } -> 1.0 /. (rate *. float_of_int (Array.length t.ages))
+  | _ -> begin
+      match as_weibull t with
+      | Some law -> Law.mean law
+      | None ->
+          (* Numeric integration of the survival function over
+             geometrically growing panels (cf. Law.mean_residual_life). *)
+          let scale = Law.mean t.law /. float_of_int (Array.length t.ages) in
+          let simpson f a b n =
+            let h = (b -. a) /. float_of_int n in
+            let acc = ref (f a +. f b) in
+            for i = 1 to n - 1 do
+              let weight = if i mod 2 = 1 then 4.0 else 2.0 in
+              acc := !acc +. (weight *. f (a +. (float_of_int i *. h)))
+            done;
+            !acc *. h /. 3.0
+          in
+          let rec panels acc a width =
+            if survival t a < 1e-12 || a > scale *. 1e8 then acc
+            else panels (acc +. simpson (survival t) a (a +. width) 128) (a +. width)
+                   (2.0 *. width)
+          in
+          panels 0.0 0.0 (scale /. 8.0)
+    end
+
+let quantile t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Superposition.quantile: p must lie in [0,1)";
+  if p = 0.0 then 0.0
+  else begin
+    (* Bracket then bisect on the survival function. *)
+    let target = 1.0 -. p in
+    let hi = ref (Law.mean t.law) in
+    while survival t !hi > target do
+      hi := !hi *. 2.0
+    done;
+    let lo = ref 0.0 in
+    for _ = 1 to 200 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if survival t mid > target then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let sample t rng =
+  Array.fold_left
+    (fun acc age ->
+      Float.min acc (Law.conditional_remaining_sample t.law ~elapsed:age rng))
+    infinity t.ages

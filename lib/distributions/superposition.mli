@@ -1,0 +1,43 @@
+(** Platform-level first-failure distribution: the superposition of p
+    i.i.d. per-processor laws — the first difficulty the paper lists for
+    its Section 6 extension ("compute, or better approximate, the
+    failure distribution of a platform with p processors").
+
+    For processors all of age 0, the time to the first platform failure
+    is the minimum of p i.i.d. variables: S_platform(t) = S(t)^p. With
+    per-processor ages a_i (no rejuvenation), it becomes
+    Π_i S(a_i + t)/S(a_i). Both forms are provided, with the closed-form
+    special cases the tests verify:
+    - Exponential(λ) processors → Exponential(pλ) platform;
+    - Weibull(k, s) fresh processors → Weibull(k, s·p^(-1/k)) platform. *)
+
+type t
+(** The first-failure distribution of a platform. *)
+
+val fresh : law:Law.t -> processors:int -> t
+(** All processors of age 0. *)
+
+val aged : law:Law.t -> ages:float array -> t
+(** One age per processor (>= 0); no rejuvenation. *)
+
+val survival : t -> float -> float
+val cdf : t -> float -> float
+
+val hazard : t -> float -> float
+(** Platform hazard: Σ_i h(a_i + t); p·h(t) when fresh. *)
+
+val mean : t -> float
+(** Expected time to the first platform failure (numeric integration of
+    the survival function; exact for Exponential). *)
+
+val quantile : t -> float -> float
+(** Inverse CDF by bisection (closed form for the fresh case when the
+    per-processor quantile is closed-form). *)
+
+val sample : t -> Ckpt_prng.Rng.t -> float
+(** Draw a first-failure time: the min over per-processor residual
+    draws. *)
+
+val as_weibull : t -> Law.t option
+(** [Some (Weibull ...)] when the platform law is itself Weibull (fresh
+    Weibull processors); [None] otherwise. *)

@@ -1,0 +1,22 @@
+type output = Table of Ckpt_stats.Table.t | Figure of string
+
+let print_output output =
+  match output with
+  | Table table -> Ckpt_stats.Table.print table
+  | Figure text -> print_string text
+
+type config = { seed : int64; quick : bool }
+
+let default = { seed = 42L; quick = false }
+
+let rng config label =
+  Ckpt_prng.Rng.substream (Ckpt_prng.Rng.create ~seed:config.seed) label
+
+let runs config ~full = if config.quick then Stdlib.max 100 (full / 10) else full
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (Unix.gettimeofday () -. start, result)
+
+let bool_cell b = if b then "yes" else "NO"

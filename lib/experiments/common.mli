@@ -1,0 +1,29 @@
+(** Shared plumbing for the experiment modules. *)
+
+type output =
+  | Table of Ckpt_stats.Table.t
+  | Figure of string  (** Pre-rendered ASCII figure (see {!Ckpt_stats.Ascii_plot}). *)
+
+val print_output : output -> unit
+
+type config = {
+  seed : int64;
+  quick : bool;
+      (** Reduced replication counts for CI-sized runs; the full
+          configuration is used to produce EXPERIMENTS.md. *)
+}
+
+val default : config
+(** seed 42, full size. *)
+
+val rng : config -> string -> Ckpt_prng.Rng.t
+(** Labelled substream of the experiment seed. *)
+
+val runs : config -> full:int -> int
+(** [full] replications, divided by 10 (min 100) in quick mode. *)
+
+val time : (unit -> 'a) -> float * 'a
+(** Wall-clock seconds of a thunk. *)
+
+val bool_cell : bool -> string
+(** "yes"/"NO" table cell. *)

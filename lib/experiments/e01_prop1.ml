@@ -1,0 +1,60 @@
+module Table = Ckpt_stats.Table
+module Expected_time = Ckpt_core.Expected_time
+module Sim_run = Ckpt_sim.Sim_run
+module Monte_carlo = Ckpt_sim.Monte_carlo
+
+let name = "E1"
+let claim = "Prop 1: closed form = simulated expectation (99% CI)"
+
+(* The grid spans the regimes the paper cares about: rare failures
+   (HPC-like), frequent failures, costly recovery, non-zero downtime,
+   and the degenerate D = R = 0 corner. *)
+let grid =
+  [
+    (10.0, 1.0, 0.0, 0.0, 0.01);
+    (10.0, 1.0, 0.5, 2.0, 0.05);
+    (10.0, 1.0, 0.5, 2.0, 0.2);
+    (100.0, 10.0, 5.0, 10.0, 0.01);
+    (100.0, 1.0, 0.0, 5.0, 0.002);
+    (1.0, 0.1, 0.05, 0.1, 1.0);
+    (3600.0, 60.0, 60.0, 60.0, 1e-4);
+    (5.0, 0.0, 1.0, 0.0, 0.3);
+  ]
+
+let run config =
+  let runs = Common.runs config ~full:100_000 in
+  let table =
+    Table.create ~title:(Printf.sprintf "%s: %s (%d runs/row)" name claim runs)
+      ~columns:
+        [
+          ("W", Table.Right); ("C", Table.Right); ("D", Table.Right); ("R", Table.Right);
+          ("lambda", Table.Right); ("exact E(T)", Table.Right);
+          ("simulated", Table.Right); ("99% CI half-width", Table.Right);
+          ("rel.err", Table.Right); ("in CI", Table.Left);
+        ]
+  in
+  List.iteri
+    (fun row (work, checkpoint, downtime, recovery, lambda) ->
+      let exact =
+        Expected_time.expected_v ~work ~checkpoint ~downtime ~recovery ~lambda
+      in
+      let rng = Common.rng config (Printf.sprintf "e1-row-%d" row) in
+      let estimate =
+        Monte_carlo.estimate_segments ~model:(Monte_carlo.Poisson_rate lambda) ~downtime
+          ~runs ~rng
+          [ Sim_run.segment ~work ~checkpoint ~recovery ]
+      in
+      let lo, hi = estimate.Monte_carlo.ci99 in
+      Table.add_row table
+        [
+          Table.cell_f work; Table.cell_f checkpoint; Table.cell_f downtime;
+          Table.cell_f recovery; Table.cell_f lambda; Table.cell_f exact;
+          Table.cell_f estimate.Monte_carlo.mean;
+          Table.cell_e ((hi -. lo) /. 2.0);
+          Table.cell_pct
+            (Ckpt_stats.Descriptive.relative_error ~actual:estimate.Monte_carlo.mean
+               ~reference:exact);
+          Common.bool_cell (Monte_carlo.contains estimate.Monte_carlo.ci99 exact);
+        ])
+    grid;
+  [ Common.Table table ]

@@ -1,0 +1,8 @@
+(** E1 — Monte-Carlo validation of Proposition 1: the closed form
+    E(T(W,C,D,R,λ)) must lie inside the 99% confidence interval of the
+    simulated mean, across a grid of parameter settings. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

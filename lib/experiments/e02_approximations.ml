@@ -1,0 +1,59 @@
+module Table = Ckpt_stats.Table
+module Expected_time = Ckpt_core.Expected_time
+module Approximations = Ckpt_core.Approximations
+module Descriptive = Ckpt_stats.Descriptive
+
+let name = "E2"
+let claim = "approximation accuracy vs exact formula (Prop 1)"
+
+let run _config =
+  (* Fixed shape W=10 C=1 D=0.5 R=2; sweep the failure intensity so
+     lambda(W+C) spans 1e-4 .. 2.2. *)
+  let work = 10.0 and checkpoint = 1.0 and downtime = 0.5 and recovery = 2.0 in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s: %s (W=10 C=1 D=0.5 R=2)" name claim)
+      ~columns:
+        [
+          ("lambda(W+C)", Table.Right); ("exact E(T)", Table.Right);
+          ("1st-order err", Table.Right); ("2nd-order err", Table.Right);
+          ("Bouguerra err", Table.Right); ("ordering holds", Table.Left);
+        ]
+  in
+  let xs = [ 1e-4; 1e-3; 1e-2; 0.05; 0.1; 0.3; 0.5; 1.0; 2.0 ] in
+  let orderings_hold = ref true in
+  List.iter
+    (fun x ->
+      let lambda = x /. (work +. checkpoint) in
+      let p = Expected_time.make ~downtime ~recovery ~work ~checkpoint ~lambda () in
+      let exact = Expected_time.expected p in
+      let err v = Descriptive.relative_error ~actual:v ~reference:exact in
+      let e1 = err (Approximations.first_order p) in
+      let e2 = err (Approximations.second_order p) in
+      let eb = err (Approximations.bouguerra p) in
+      (* In the small-x regime the hierarchy 2nd < 1st must hold. *)
+      let holds = x >= 0.5 || e2 <= e1 +. 1e-15 in
+      if not holds then orderings_hold := false;
+      Table.add_row table
+        [
+          Table.cell_f x; Table.cell_f exact; Table.cell_e e1; Table.cell_e e2;
+          Table.cell_e eb; Common.bool_cell holds;
+        ])
+    xs;
+  (* Second table: the Bouguerra bias vanishes with R. *)
+  let bias =
+    Table.create ~title:(Printf.sprintf "%s (cont.): Bouguerra bias vs recovery cost" name)
+      ~columns:[ ("R", Table.Right); ("exact", Table.Right); ("Bouguerra", Table.Right);
+                 ("analytic bias (1/l+D)(e^(lR)-1)", Table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      let lambda = 0.05 in
+      let p = Expected_time.make ~downtime ~recovery:r ~work ~checkpoint ~lambda () in
+      let exact = Expected_time.expected p in
+      let b = Approximations.bouguerra p in
+      let analytic = ((1.0 /. lambda) +. downtime) *. Float.expm1 (lambda *. r) in
+      Table.add_row bias
+        [ Table.cell_f r; Table.cell_f exact; Table.cell_f b; Table.cell_f analytic ])
+    [ 0.0; 0.5; 1.0; 2.0; 5.0; 10.0 ];
+  [ Common.Table table; Common.Table bias ]

@@ -1,0 +1,9 @@
+(** E2 — Accuracy of the literature's approximations against the exact
+    formula (the Section 3 / Related-Work discussion): first- and
+    second-order expansions (Young/Daly-level accuracy) and the
+    Bouguerra et al. formula with its first-attempt-recovery bias. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

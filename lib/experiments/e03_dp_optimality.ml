@@ -1,0 +1,54 @@
+module Table = Ckpt_stats.Table
+module Rng = Ckpt_prng.Rng
+module Generate = Ckpt_dag.Generate
+module Chain_problem = Ckpt_core.Chain_problem
+module Chain_dp = Ckpt_core.Chain_dp
+module Brute_force = Ckpt_core.Brute_force
+
+let name = "E3"
+let claim = "Prop 3: DP = exhaustive optimum on chains"
+
+let run config =
+  let trials = if config.Common.quick then 20 else 100 in
+  let table =
+    Table.create ~title:(Printf.sprintf "%s: %s (%d random chains per size)" name claim trials)
+      ~columns:
+        [
+          ("n", Table.Right); ("trials", Table.Right);
+          ("max rel gap DP vs brute force", Table.Right);
+          ("max rel gap memoized vs iterative", Table.Right);
+          ("placements agree", Table.Left);
+        ]
+  in
+  List.iter
+    (fun n ->
+      let max_gap_bf = ref 0.0 and max_gap_memo = ref 0.0 and placements_ok = ref true in
+      for trial = 1 to trials do
+        let rng = Common.rng config (Printf.sprintf "e3-%d-%d" n trial) in
+        let spec = Generate.uniform_costs () in
+        let dag = Generate.chain rng spec ~n in
+        let lambda = Rng.float_range rng 0.005 0.3 in
+        let problem =
+          Chain_problem.of_dag ~downtime:(Rng.float_range rng 0.0 1.0)
+            ~initial_recovery:(Rng.float_range rng 0.0 1.0) ~lambda dag
+        in
+        let dp = Chain_dp.solve problem in
+        let bf = Brute_force.chain_best problem in
+        let memo = Chain_dp.solve_memoized problem in
+        let gap a b = Float.abs (a -. b) /. Float.max 1e-300 b in
+        max_gap_bf :=
+          Float.max !max_gap_bf
+            (gap dp.Chain_dp.expected_makespan bf.Chain_dp.expected_makespan);
+        max_gap_memo :=
+          Float.max !max_gap_memo
+            (gap dp.Chain_dp.expected_makespan memo.Chain_dp.expected_makespan);
+        if not (Ckpt_core.Schedule.equal dp.Chain_dp.schedule memo.Chain_dp.schedule) then
+          placements_ok := false
+      done;
+      Table.add_row table
+        [
+          string_of_int n; string_of_int trials; Table.cell_e !max_gap_bf;
+          Table.cell_e !max_gap_memo; Common.bool_cell !placements_ok;
+        ])
+    [ 4; 8; 12; 16 ];
+  [ Common.Table table ]

@@ -1,0 +1,8 @@
+(** E3 — Proposition 3: the chain dynamic program returns exactly the
+    optimum found by exhaustive enumeration of all checkpoint
+    placements, on random heterogeneous chains. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

@@ -1,0 +1,55 @@
+module Table = Ckpt_stats.Table
+module Generate = Ckpt_dag.Generate
+module Chain_problem = Ckpt_core.Chain_problem
+module Chain_dp = Ckpt_core.Chain_dp
+module Regression = Ckpt_stats.Regression
+
+let name = "E4"
+let claim = "Prop 3: DP runtime is O(n^2)"
+
+let run config =
+  let sizes = if config.Common.quick then [ 64; 128; 256; 512; 1024 ]
+    else [ 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]
+  in
+  let table =
+    Table.create ~title:(Printf.sprintf "%s: %s" name claim)
+      ~columns:[ ("n", Table.Right); ("time (s)", Table.Right);
+                 ("time / n^2 (us)", Table.Right) ]
+  in
+  let points =
+    List.map
+      (fun n ->
+        let rng = Common.rng config (Printf.sprintf "e4-%d" n) in
+        let spec = Generate.uniform_costs () in
+        let dag = Generate.chain rng spec ~n in
+        (* Moderate lambda keeps the exponentials in range at n=8192. *)
+        let problem = Chain_problem.of_dag ~downtime:0.1 ~lambda:(10.0 /. float_of_int n) dag in
+        (* Repeat small sizes so the measurement is above clock noise. *)
+        let repeats = Stdlib.max 1 (65536 / (n * n / 64)) in
+        let elapsed, _ =
+          Common.time (fun () ->
+              for _ = 1 to repeats do
+                ignore (Chain_dp.solve problem)
+              done)
+        in
+        let per_solve = elapsed /. float_of_int repeats in
+        Table.add_row table
+          [
+            string_of_int n; Table.cell_e per_solve;
+            Table.cell_f (per_solve /. (float_of_int n *. float_of_int n) *. 1e6);
+          ];
+        (float_of_int n, per_solve))
+      sizes
+  in
+  let fit = Regression.log_log (Array.of_list points) in
+  Table.add_rule table;
+  Table.add_row table
+    [ "log-log slope"; Table.cell_f fit.Regression.slope;
+      Printf.sprintf "R^2 = %.4f" fit.Regression.r_squared ];
+  let figure =
+    Ckpt_stats.Ascii_plot.single ~log_x:true ~log_y:true
+      ~title:(Printf.sprintf "Figure E4: DP time vs n (log-log; slope %.3f)"
+                fit.Regression.slope)
+      points
+  in
+  [ Common.Table table; Common.Figure figure ]

@@ -1,0 +1,7 @@
+(** E4 — Proposition 3's complexity: the dynamic program's runtime grows
+    as O(n²) (empirical log-log slope ≈ 2). *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

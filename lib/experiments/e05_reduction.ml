@@ -1,0 +1,50 @@
+module Table = Ckpt_stats.Table
+module Reduction = Ckpt_core.Reduction
+
+let name = "E5"
+let claim = "Prop 2: 3-PARTITION instance solvable <=> optimal E <= K"
+
+let fixed_instances =
+  [
+    (* (label, instance) — hand-picked solvable and unsolvable cases. *)
+    ("solvable m=2 (7,8,9)x2", Reduction.instance ~items:[ 7; 9; 8; 8; 9; 7 ] ~target:24);
+    ("unsolvable m=2 {7,7,7,9,9,9}", Reduction.instance ~items:[ 7; 7; 7; 9; 9; 9 ] ~target:24);
+    ("unsolvable m=2 {13,13,15,15,15,17}",
+     Reduction.instance ~items:[ 13; 13; 15; 15; 15; 17 ] ~target:44);
+    ("solvable m=3 target 40",
+     Reduction.instance ~items:[ 11; 14; 15; 12; 13; 15; 11; 13; 16 ] ~target:40);
+  ]
+
+let run config =
+  let table =
+    Table.create ~title:(Printf.sprintf "%s: %s" name claim)
+      ~columns:
+        [
+          ("instance", Table.Left); ("m", Table.Right); ("bound K", Table.Right);
+          ("optimal E", Table.Right); ("E <= K", Table.Left); ("3-part solvable", Table.Left);
+          ("equivalence", Table.Left);
+        ]
+  in
+  let add label instance =
+    let reduced = Reduction.reduce instance in
+    let optimal = Reduction.optimal_expected instance in
+    let within = optimal <= reduced.Reduction.bound *. (1.0 +. 1e-9) in
+    let solvable = Reduction.solve_3partition instance <> None in
+    Table.add_row table
+      [
+        label; string_of_int (Reduction.groups_count instance);
+        Table.cell_f reduced.Reduction.bound; Table.cell_f optimal;
+        Common.bool_cell within; Common.bool_cell solvable;
+        Common.bool_cell (within = solvable);
+      ]
+  in
+  List.iter (fun (label, instance) -> add label instance) fixed_instances;
+  Table.add_rule table;
+  let random_count = if config.Common.quick then 3 else 8 in
+  for i = 1 to random_count do
+    let m = 1 + (i mod 3) in
+    let rng = Common.rng config (Printf.sprintf "e5-%d" i) in
+    let instance = Reduction.random_solvable rng ~m ~target:80 in
+    add (Printf.sprintf "random solvable #%d (m=%d, T=80)" i m) instance
+  done;
+  [ Common.Table table ]

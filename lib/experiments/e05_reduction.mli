@@ -1,0 +1,9 @@
+(** E5 — Proposition 2: executing the 3-PARTITION reduction end-to-end.
+    For each instance, the optimal expected makespan of the reduced
+    scheduling instance is at most K iff the 3-PARTITION instance is
+    solvable. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

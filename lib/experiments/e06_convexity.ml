@@ -1,0 +1,62 @@
+module Table = Ckpt_stats.Table
+module Expected_time = Ckpt_core.Expected_time
+
+let name = "E6"
+let claim = "Prop 2 proof: equal segments, m = n checkpoints are uniquely optimal"
+
+let run _config =
+  (* The reduction's setting: n groups of total work T each; total nT.
+     lambda = 1/(2T), C = R = (ln 2 - 1/2)/lambda, D = 0. *)
+  let n = 6 in
+  let target = 100.0 in
+  let lambda = 1.0 /. (2.0 *. target) in
+  let cost = (log 2.0 -. 0.5) /. lambda in
+  let total = float_of_int n *. target in
+  let segments_cost m =
+    (* m equal segments of work nT/m, each paying e^(lambda C). *)
+    float_of_int m
+    *. Expected_time.expected_v ~work:(total /. float_of_int m) ~checkpoint:cost
+         ~downtime:0.0 ~recovery:cost ~lambda
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s: %s (n=%d, T=%g, lambda=1/(2T), C=R=(ln2-1/2)/lambda)" name
+           claim n target)
+      ~columns:[ ("m segments", Table.Right); ("E0(m)", Table.Right);
+                 ("E0(m)/E0(n)", Table.Right) ]
+  in
+  let at_n = segments_cost n in
+  for m = 1 to 2 * n do
+    Table.add_row table
+      [ string_of_int m; Table.cell_f (segments_cost m);
+        Table.cell_f (segments_cost m /. at_n) ]
+  done;
+  let valley =
+    Ckpt_stats.Ascii_plot.single ~height:14
+      ~title:(Printf.sprintf "Figure E6: E0(m)/E0(n), minimum at m = n = %d" n)
+      (List.init (2 * n) (fun i ->
+           (float_of_int (i + 1), segments_cost (i + 1) /. at_n)))
+  in
+  (* Second table: imbalance at fixed m = n. Splitting nT into n
+     segments of work T(1 +/- delta) in alternating pairs. *)
+  let imbalance delta =
+    let heavy = target *. (1.0 +. delta) and light = target *. (1.0 -. delta) in
+    let cost_of work =
+      Expected_time.expected_v ~work ~checkpoint:cost ~downtime:0.0 ~recovery:cost ~lambda
+    in
+    (float_of_int (n / 2) *. cost_of heavy) +. (float_of_int (n / 2) *. cost_of light)
+  in
+  let table2 =
+    Table.create
+      ~title:(Printf.sprintf "%s (cont.): segment imbalance at m = n" name)
+      ~columns:[ ("delta", Table.Right); ("E(delta)", Table.Right);
+                 ("excess vs balanced", Table.Right) ]
+  in
+  List.iter
+    (fun delta ->
+      Table.add_row table2
+        [ Table.cell_f delta; Table.cell_f (imbalance delta);
+          Table.cell_e (imbalance delta -. at_n) ])
+    [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5 ];
+  [ Common.Table table; Common.Figure valley; Common.Table table2 ]

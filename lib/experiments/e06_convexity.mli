@@ -1,0 +1,10 @@
+(** E6 — The convexity argument inside the Proposition 2 proof: with the
+    reduction's parameters, the expected makespan over m equal segments
+    E0(m) = m·(e^(λC)/λ)·(e^(λ(nT/m + C)) − 1) is convex with its
+    minimum exactly at m = n, and unequal segments only increase the
+    expectation. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

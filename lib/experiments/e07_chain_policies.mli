@@ -1,0 +1,9 @@
+(** E7 — The value of optimal placement on chains (the motivation of
+    Sections 1-2): expected-makespan ratios of standard placements
+    (checkpoint everywhere / never / Young / Daly periodic) against the
+    DP optimum, across failure rates, plus a simulation cross-check. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

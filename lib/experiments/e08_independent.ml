@@ -1,0 +1,90 @@
+module Table = Ckpt_stats.Table
+module Rng = Ckpt_prng.Rng
+module Independent = Ckpt_core.Independent
+module Brute_force = Ckpt_core.Brute_force
+module Chain_dp = Ckpt_core.Chain_dp
+
+let name = "E8"
+let claim = "independent tasks: heuristics vs exact optimum"
+
+let heuristic_costs problem =
+  let cost (s : Chain_dp.solution) = s.Chain_dp.expected_makespan in
+  [
+    ("order-longest+DP", cost (Independent.solve_ordered problem Independent.Longest_first));
+    ("order-shortest+DP", cost (Independent.solve_ordered problem Independent.Shortest_first));
+    ("LPT-m*+DP", cost (Independent.auto_grouping problem));
+  ]
+
+let run config =
+  let trials = if config.Common.quick then 5 else 20 in
+  (* Small instances: exact optimum available. *)
+  let exact_table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "%s: %s -- n=12, uniform C=R, worst/mean ratio to exact over %d instances" name
+           claim trials)
+      ~columns:[ ("lambda", Table.Right); ("heuristic", Table.Left);
+                 ("mean ratio", Table.Right); ("worst ratio", Table.Right) ]
+  in
+  List.iter
+    (fun lambda ->
+      let stats = Hashtbl.create 8 in
+      for trial = 1 to trials do
+        let rng = Common.rng config (Printf.sprintf "e8-small-%g-%d" lambda trial) in
+        let works = List.init 12 (fun _ -> Rng.float_range rng 1.0 10.0) in
+        let checkpoint = Rng.float_range rng 0.2 1.0 in
+        let problem = Independent.uniform ~lambda ~checkpoint ~recovery:checkpoint works in
+        let exact =
+          Brute_force.partition_best ~lambda ~checkpoint ~recovery:checkpoint
+            ~downtime:0.0 (Array.of_list works)
+        in
+        List.iter
+          (fun (label, cost) ->
+            let ratio = cost /. exact in
+            let mean_acc, worst =
+              match Hashtbl.find_opt stats label with
+              | Some v -> v
+              | None -> (Ckpt_stats.Welford.create (), ref 0.0)
+            in
+            Ckpt_stats.Welford.add mean_acc ratio;
+            if ratio > !worst then worst := ratio;
+            Hashtbl.replace stats label (mean_acc, worst))
+          (heuristic_costs problem)
+      done;
+      List.iter
+        (fun label ->
+          let mean_acc, worst = Hashtbl.find stats label in
+          Table.add_row exact_table
+            [
+              Table.cell_f lambda; label;
+              Table.cell_f (Ckpt_stats.Welford.mean mean_acc); Table.cell_f !worst;
+            ])
+        [ "order-longest+DP"; "order-shortest+DP"; "LPT-m*+DP" ])
+    [ 0.01; 0.05; 0.2 ];
+  (* Large instances: heuristics against the best of themselves. *)
+  let big_table =
+    Table.create
+      ~title:(Printf.sprintf "%s (cont.): n=200 heterogeneous costs, ratio to best heuristic" name)
+      ~columns:[ ("lambda", Table.Right); ("heuristic", Table.Left); ("ratio to best", Table.Right) ]
+  in
+  List.iter
+    (fun lambda ->
+      let rng = Common.rng config (Printf.sprintf "e8-big-%g" lambda) in
+      let tasks =
+        List.init 200 (fun i ->
+            Ckpt_dag.Task.make ~id:i
+              ~work:(Rng.float_range rng 1.0 10.0)
+              ~checkpoint_cost:(Rng.float_range rng 0.1 2.0)
+              ~recovery_cost:(Rng.float_range rng 0.1 2.0) ())
+      in
+      let problem = Independent.make ~lambda tasks in
+      let costs = heuristic_costs problem in
+      let best = List.fold_left (fun acc (_, c) -> Float.min acc c) infinity costs in
+      List.iter
+        (fun (label, cost) ->
+          Table.add_row big_table
+            [ Table.cell_f lambda; label; Table.cell_f (cost /. best) ])
+        costs)
+    [ 0.005; 0.02 ];
+  [ Common.Table exact_table; Common.Table big_table ]

@@ -1,0 +1,8 @@
+(** E8 — The NP-hard independent-task problem: heuristic orderings and
+    groupings versus the exact optimum (subset DP) on small instances,
+    and a heuristic-only comparison at larger scale. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

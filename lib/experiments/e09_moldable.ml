@@ -1,0 +1,59 @@
+module Table = Ckpt_stats.Table
+module Moldable = Ckpt_core.Moldable
+module Approximations = Ckpt_core.Approximations
+
+let name = "E9"
+let claim = "Section 3 scenarios: expected time vs processor count"
+
+let scenarios =
+  let mk workload overhead =
+    ( Printf.sprintf "%s / %s" (Moldable.workload_to_string workload)
+        (Moldable.overhead_to_string overhead),
+      Moldable.scenario ~downtime:60.0 ~total_work:1e7 ~workload ~overhead ~proc_rate:1e-7
+        () )
+  in
+  [
+    mk Moldable.Perfectly_parallel (Moldable.Proportional 600.0);
+    mk Moldable.Perfectly_parallel (Moldable.Constant 600.0);
+    mk (Moldable.Amdahl 1e-6) (Moldable.Constant 600.0);
+    mk (Moldable.Numerical_kernel 0.1) (Moldable.Proportional 600.0);
+    mk (Moldable.Numerical_kernel 0.1) (Moldable.Constant 600.0);
+  ]
+
+let run _config =
+  let ps = [ 16; 64; 256; 1024; 4096; 16384; 65536 ] in
+  let sweep =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "%s: %s (W_total=1e7, C_vol=600, D=60, lambda_proc=1e-7; cells: E*(p))" name
+           claim)
+      ~columns:
+        (("p", Table.Right)
+        :: List.map (fun (label, _) -> (label, Table.Right)) scenarios)
+  in
+  List.iter
+    (fun p ->
+      let cells =
+        List.map
+          (fun (_, s) ->
+            Table.cell_e (Moldable.expected_time s ~p).Approximations.expected_total)
+          scenarios
+      in
+      Table.add_row sweep (string_of_int p :: cells))
+    ps;
+  let optima =
+    Table.create ~title:(Printf.sprintf "%s (cont.): optimal processor counts" name)
+      ~columns:[ ("scenario", Table.Left); ("p*", Table.Right); ("E*(p*)", Table.Right);
+                 ("chunks m*", Table.Right) ]
+  in
+  List.iter
+    (fun (label, s) ->
+      let p_star, d = Moldable.optimal_processors s ~max_p:65536 in
+      Table.add_row optima
+        [
+          label; string_of_int p_star; Table.cell_e d.Approximations.expected_total;
+          string_of_int d.Approximations.chunks;
+        ])
+    scenarios;
+  [ Common.Table sweep; Common.Table optima ]

@@ -1,0 +1,8 @@
+(** E9 — The Section 3 scaling scenarios: expected time versus processor
+    count for the three workload models crossed with the two
+    checkpoint-cost models, and the resulting optimal platform sizes. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

@@ -1,0 +1,9 @@
+(** E10 — The Section 6 extension: checkpoint policies under
+    non-Exponential failures (Weibull / LogNormal synthetic cluster
+    logs). History-aware policies are compared by simulation against the
+    memoryless-optimal static placement. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

@@ -1,0 +1,106 @@
+module Table = Ckpt_stats.Table
+module Task = Ckpt_dag.Task
+module Dag = Ckpt_dag.Dag
+module Generate = Ckpt_dag.Generate
+module Rng = Ckpt_prng.Rng
+module Dag_sched = Ckpt_core.Dag_sched
+
+let name = "E11"
+let claim = "ablation: DAG linearization strategies and live-set checkpoint costs"
+
+let live_sum_model =
+  Dag_sched.Live_set
+    {
+      checkpoint =
+        (fun live ->
+          Ckpt_stats.Kahan.sum_list
+            (List.map (fun (t : Task.t) -> t.Task.checkpoint_cost) live));
+      recovery =
+        (fun live ->
+          Ckpt_stats.Kahan.sum_list
+            (List.map (fun (t : Task.t) -> t.Task.recovery_cost) live));
+    }
+
+let strategies =
+  [
+    ("deterministic", Dag_sched.Deterministic);
+    ("heaviest-first", Dag_sched.Heaviest_first);
+    ("lightest-first", Dag_sched.Lightest_first);
+    ("critical-path", Dag_sched.Critical_path);
+  ]
+
+let run config =
+  let trials = if config.Common.quick then 5 else 20 in
+  let lambda = 0.05 in
+  (* Part 1: strategy quality vs the exact optimum over all
+     linearizations, per cost model, on small random DAGs. *)
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "%s: %s -- mean ratio to exact over %d random 7-task DAGs (lambda=%g)" name
+           claim trials lambda)
+      ~columns:[ ("cost model", Table.Left); ("strategy", Table.Left);
+                 ("mean ratio", Table.Right); ("worst ratio", Table.Right) ]
+  in
+  List.iter
+    (fun (model_label, cost_model) ->
+      let stats =
+        List.map (fun (label, _) -> (label, Ckpt_stats.Welford.create (), ref 0.0))
+          strategies
+      in
+      for trial = 1 to trials do
+        let rng = Common.rng config (Printf.sprintf "e11-%s-%d" model_label trial) in
+        let spec = Generate.uniform_costs () in
+        let dag = Generate.random_dag rng spec ~n:7 ~edge_prob:0.3 in
+        let exact = Dag_sched.exact_small ~cost_model ~lambda dag in
+        List.iter2
+          (fun (_, strategy) (_, acc, worst) ->
+            let solution =
+              Dag_sched.solve_order ~cost_model ~lambda dag
+                (Dag_sched.linearize strategy dag)
+            in
+            let ratio =
+              solution.Dag_sched.expected_makespan /. exact.Dag_sched.expected_makespan
+            in
+            Ckpt_stats.Welford.add acc ratio;
+            if ratio > !worst then worst := ratio)
+          strategies stats
+      done;
+      List.iter
+        (fun (label, acc, worst) ->
+          Table.add_row table
+            [ model_label; label; Table.cell_f (Ckpt_stats.Welford.mean acc);
+              Table.cell_f !worst ])
+        stats)
+    [ ("per-task (Section 2)", Dag_sched.Task_costs); ("live-set (Section 6)", live_sum_model) ];
+  (* Part 2: on fork-join workflows, the live-set model makes
+     checkpoints inside the parallel region costlier, so the optimal
+     placement pushes checkpoints to the joins. *)
+  let table2 =
+    Table.create
+      ~title:(Printf.sprintf "%s (cont.): fork-join of width w -- checkpoints in optimum" name)
+      ~columns:[ ("width", Table.Right); ("per-task: #ckpts", Table.Right);
+                 ("live-set: #ckpts", Table.Right); ("live/per-task makespan", Table.Right) ]
+  in
+  List.iter
+    (fun width ->
+      let rng = Common.rng config (Printf.sprintf "e11-fj-%d" width) in
+      let spec = Generate.uniform_costs () in
+      let dag = Generate.fork_join rng spec ~stages:2 ~width in
+      let solve cost_model =
+        Dag_sched.solve_order ~cost_model ~lambda dag
+          (Dag_sched.linearize Dag_sched.Critical_path dag)
+      in
+      let per_task = solve Dag_sched.Task_costs in
+      let live = solve live_sum_model in
+      let count (s : Dag_sched.solution) =
+        Ckpt_core.Schedule.checkpoint_count s.Dag_sched.placement
+      in
+      Table.add_row table2
+        [
+          string_of_int width; string_of_int (count per_task); string_of_int (count live);
+          Table.cell_f (live.Dag_sched.expected_makespan /. per_task.Dag_sched.expected_makespan);
+        ])
+    [ 2; 4; 6 ];
+  [ Common.Table table; Common.Table table2 ]

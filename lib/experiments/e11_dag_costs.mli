@@ -1,0 +1,9 @@
+(** E11 (ablation, Section 6 first extension) — general DAGs: the value
+    of choosing the linearization, and the effect of live-set checkpoint
+    costs versus the per-task model. Not a claim with numbers in the
+    paper; this quantifies the design discussion of Section 6. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

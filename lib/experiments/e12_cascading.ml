@@ -1,0 +1,37 @@
+module Table = Ckpt_stats.Table
+module Cascading = Ckpt_failures.Cascading
+module Welford = Ckpt_stats.Welford
+
+let name = "E12"
+let claim = "cascading downtime: constant-D accuracy vs lambda*D (Equation 6 remark)"
+
+let run config =
+  let runs = Common.runs config ~full:100_000 in
+  let downtime = 60.0 in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s: %s (D=%g, %d simulated downtimes/row)" name claim
+                downtime runs)
+      ~columns:
+        [
+          ("lambda*D", Table.Right); ("E(D_eff) analytic", Table.Right);
+          ("E(D_eff) simulated", Table.Right); ("in 99% CI", Table.Left);
+          ("excess over D", Table.Right); ("extra failures", Table.Right);
+        ]
+  in
+  List.iteri
+    (fun row ld ->
+      let lambda = ld /. downtime in
+      let analytic = Cascading.expected_effective ~lambda ~downtime in
+      let rng = Common.rng config (Printf.sprintf "e12-%d" row) in
+      let acc = Cascading.simulate ~lambda ~downtime ~runs rng in
+      let ci = Welford.confidence_interval acc ~level:0.99 in
+      Table.add_row table
+        [
+          Table.cell_f ld; Table.cell_f analytic; Table.cell_f (Welford.mean acc);
+          Common.bool_cell (fst ci <= analytic && analytic <= snd ci);
+          Table.cell_pct (Cascading.expected_excess ~lambda ~downtime /. downtime);
+          Table.cell_f (Cascading.expected_cascade_failures ~lambda ~downtime);
+        ])
+    [ 1e-4; 1e-3; 1e-2; 0.05; 0.1; 0.3; 1.0 ];
+  [ Common.Table table ]

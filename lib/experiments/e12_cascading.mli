@@ -1,0 +1,9 @@
+(** E12 (ablation, Equation 6 remark) — cascading downtimes: how far the
+    paper's constant-D model is from the true effective downtime
+    (e^(λD) − 1)/λ when failures can strike while the platform is down,
+    validated by simulation. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

@@ -1,0 +1,8 @@
+(** E13 (related work [20]) — the Bouguerra–Trystram–Wagner saved-work
+    objective: how its optimal placement compares with the paper's
+    makespan-optimal placement, for Exponential and general laws. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

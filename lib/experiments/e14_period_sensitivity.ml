@@ -1,0 +1,77 @@
+module Table = Ckpt_stats.Table
+module Divisible = Ckpt_core.Divisible
+module Approximations = Ckpt_core.Approximations
+
+let name = "E14"
+let claim = "sensitivity to a mis-estimated checkpoint period ([23])"
+
+let factors = [ 0.1; 0.25; 0.5; 1.0; 2.0; 4.0; 10.0 ]
+
+let run _config =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "%s: %s (W=1e4, C=R=30, D=10; cells: E(f*tau*)/E(tau*))" name claim)
+      ~columns:
+        (("lambda", Table.Right) :: ("tau* (work)", Table.Right)
+        :: List.map (fun f -> (Printf.sprintf "f=%g" f, Table.Right)) factors)
+  in
+  List.iter
+    (fun lambda ->
+      let p =
+        Divisible.make ~downtime:10.0 ~recovery:30.0 ~total_work:1e4 ~checkpoint:30.0
+          ~lambda ()
+      in
+      let opt = Divisible.optimal p in
+      let sensitivity = Divisible.period_sensitivity p ~factors in
+      Table.add_row table
+        (Table.cell_f lambda
+        :: Table.cell_f opt.Approximations.chunk_work
+        :: List.map (fun (_, ratio) -> Table.cell_f ratio) sensitivity))
+    [ 1e-5; 1e-4; 1e-3; 1e-2 ];
+  (* Companion: Young/Daly periods versus the optimum in the same regimes. *)
+  let companion =
+    Table.create
+      ~title:(Printf.sprintf "%s (cont.): Young and Daly periods vs exact optimum" name)
+      ~columns:[ ("lambda", Table.Right); ("E_opt", Table.Right); ("Young/opt", Table.Right);
+                 ("Daly/opt", Table.Right); ("waste at opt", Table.Right) ]
+  in
+  List.iter
+    (fun lambda ->
+      let p =
+        Divisible.make ~downtime:10.0 ~recovery:30.0 ~total_work:1e4 ~checkpoint:30.0
+          ~lambda ()
+      in
+      let opt = Divisible.optimal p in
+      let ratio d = d.Approximations.expected_total /. opt.Approximations.expected_total in
+      Table.add_row companion
+        [
+          Table.cell_f lambda;
+          Table.cell_f opt.Approximations.expected_total;
+          Table.cell_f (ratio (Divisible.young p));
+          Table.cell_f (ratio (Divisible.daly p));
+          Table.cell_pct (Divisible.waste_fraction p ~chunks:opt.Approximations.chunks);
+        ])
+    [ 1e-5; 1e-4; 1e-3; 1e-2 ];
+  let labels = [ '1'; '2'; '3'; '4' ] in
+  let series =
+    List.map2
+      (fun label lambda ->
+        let p =
+          Divisible.make ~downtime:10.0 ~recovery:30.0 ~total_work:1e4 ~checkpoint:30.0
+            ~lambda ()
+        in
+        { Ckpt_stats.Ascii_plot.label;
+          points =
+            List.map (fun (f, ratio) -> (f, ratio))
+              (Divisible.period_sensitivity p
+                 ~factors:[ 0.1; 0.17; 0.3; 0.55; 1.0; 1.8; 3.2; 5.6; 10.0 ]) })
+      labels [ 1e-5; 1e-4; 1e-3; 1e-2 ]
+  in
+  let figure =
+    Ckpt_stats.Ascii_plot.plot ~log_x:true ~log_y:true ~height:16
+      ~title:"Figure E14: E(f*tau*)/E(tau*) vs f (series 1..4 = lambda 1e-5..1e-2)"
+      series
+  in
+  [ Common.Table table; Common.Figure figure; Common.Table companion ]

@@ -1,0 +1,10 @@
+(** E14 (related work [23]) — the cost of sub-optimal checkpoint
+    periods: expected-time ratio against the optimum when the period is
+    mis-estimated by a multiplicative factor, across failure-rate
+    regimes (Jones, Daly & DeBardeleben, HPDC'10 — cited by the paper's
+    related work as the motivation for knowing the exact formula). *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

@@ -1,0 +1,66 @@
+module Table = Ckpt_stats.Table
+module Moldable = Ckpt_core.Moldable
+module Moldable_chain = Ckpt_core.Moldable_chain
+module Chain_dp = Ckpt_core.Chain_dp
+
+let name = "E15"
+let claim = "moldable chains: per-segment allocation vs best fixed allocation"
+
+(* A mixed pipeline: embarrassingly parallel stages around a strongly
+   sequential reduction and a communication-bound kernel. *)
+let tasks () =
+  [
+    Moldable_chain.task ~name:"scatter" ~total_work:20_000.0
+      ~checkpoint:(Moldable.Proportional 100.0) ();
+    Moldable_chain.task ~name:"simulate" ~total_work:80_000.0
+      ~checkpoint:(Moldable.Proportional 400.0) ();
+    Moldable_chain.task ~name:"reduce" ~workload:(Moldable.Amdahl 0.05)
+      ~total_work:30_000.0 ~checkpoint:(Moldable.Constant 50.0) ();
+    Moldable_chain.task ~name:"solve" ~workload:(Moldable.Numerical_kernel 0.3)
+      ~total_work:60_000.0 ~checkpoint:(Moldable.Proportional 300.0) ();
+    Moldable_chain.task ~name:"render" ~total_work:10_000.0
+      ~checkpoint:(Moldable.Constant 20.0) ();
+  ]
+
+let run _config =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s: %s (5-stage pipeline, P = 1024)" name claim)
+      ~columns:
+        [
+          ("lambda_proc", Table.Right); ("adaptive E", Table.Right);
+          ("best fixed E", Table.Right); ("fixed p*", Table.Right);
+          ("gain", Table.Right); ("adaptive allocations", Table.Left);
+        ]
+  in
+  List.iter
+    (fun proc_rate ->
+      let problem =
+        Moldable_chain.problem ~downtime:30.0 ~initial_recovery:10.0 ~max_processors:1024
+          ~proc_rate (tasks ())
+      in
+      let adaptive = Moldable_chain.solve problem in
+      let fixed_p, fixed = Moldable_chain.best_fixed_allocation problem in
+      let allocations =
+        String.concat " "
+          (List.map
+             (fun (first, last, p) ->
+               if first = last then Printf.sprintf "[%d]x%d" first p
+               else Printf.sprintf "[%d-%d]x%d" first last p)
+             adaptive.Moldable_chain.segments)
+      in
+      Table.add_row table
+        [
+          Table.cell_e proc_rate;
+          Table.cell_e adaptive.Moldable_chain.expected_makespan;
+          Table.cell_e fixed.Chain_dp.expected_makespan;
+          string_of_int fixed_p;
+          Table.cell_pct
+            ((fixed.Chain_dp.expected_makespan
+              /. adaptive.Moldable_chain.expected_makespan)
+            -. 1.0);
+          allocations;
+        ])
+    [ 1e-9; 1e-8; 1e-7; 1e-6; 1e-5 ];
+  [ Common.Table table ]

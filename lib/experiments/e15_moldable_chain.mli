@@ -1,0 +1,8 @@
+(** E15 (Section 6, second extension) — moldable tasks in a chain: the
+    value of adapting the processor allocation per segment versus the
+    best single allocation, across platform failure rates. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

@@ -1,0 +1,65 @@
+module Table = Ckpt_stats.Table
+module Moldable = Ckpt_core.Moldable
+module Replication = Ckpt_core.Replication
+module Welford = Ckpt_stats.Welford
+
+let name = "E16"
+let claim = "checkpointing vs group replication across failure rates"
+
+let mk groups proc_rate =
+  Replication.config ~downtime:5.0 ~total_work:100_000.0
+    ~checkpoint:(Moldable.Constant 60.0) ~proc_rate ~processors:512 ~groups ()
+
+let run config =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "%s: %s (W=1e5, C=R=60 constant, D=5, p=512; cells: optimal E)" name claim)
+      ~columns:
+        [
+          ("lambda_proc", Table.Right); ("g=1 (no repl.)", Table.Right);
+          ("g=2", Table.Right); ("g=4", Table.Right); ("winner", Table.Left);
+          ("m* (winner)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun proc_rate ->
+      let results = List.map (fun g -> (g, Replication.optimal_chunks (mk g proc_rate)))
+          [ 1; 2; 4 ]
+      in
+      let winner, (m_star, _) =
+        List.fold_left
+          (fun (bg, (bm, bv)) (g, (m, v)) -> if v < bv then (g, (m, v)) else (bg, (bm, bv)))
+          (List.hd results) (List.tl results)
+      in
+      Table.add_row table
+        (Table.cell_e proc_rate
+        :: List.map (fun (_, (_, v)) -> Table.cell_e v) results
+        @ [ Printf.sprintf "g=%d" winner; string_of_int m_star ]))
+    [ 1e-7; 1e-6; 3e-6; 1e-5; 3e-5; 1e-4; 3e-4 ];
+  (* Simulation cross-check at the crossover point. *)
+  let runs = Common.runs config ~full:20_000 in
+  let check =
+    Table.create
+      ~title:(Printf.sprintf "%s (cont.): simulation cross-check at lambda_proc=1e-5 (%d runs)"
+                name runs)
+      ~columns:[ ("groups", Table.Right); ("analytic E", Table.Right);
+                 ("simulated", Table.Right); ("in 99% CI", Table.Left) ]
+  in
+  List.iter
+    (fun g ->
+      let t = mk g 1e-5 in
+      let chunks, analytic = Replication.optimal_chunks t in
+      let acc =
+        Replication.simulate_total t ~chunks ~runs
+          (Common.rng config (Printf.sprintf "e16-%d" g))
+      in
+      let lo, hi = Welford.confidence_interval acc ~level:0.99 in
+      Table.add_row check
+        [
+          string_of_int g; Table.cell_f analytic; Table.cell_f (Welford.mean acc);
+          Common.bool_cell (lo <= analytic && analytic <= hi);
+        ])
+    [ 1; 2; 4 ];
+  [ Common.Table table; Common.Table check ]

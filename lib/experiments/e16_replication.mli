@@ -1,0 +1,8 @@
+(** E16 (related work [16]/[29]/[30]) — checkpointing versus group
+    replication: where duplicating the work starts paying for itself as
+    the failure rate grows. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

@@ -1,0 +1,11 @@
+(** E17 (Related Work, the [12] critique) — the rejuvenation assumption:
+    exact-under-assumption general-law placements versus reality.
+    The paper states that Bouguerra et al.'s analysis silently assumes
+    all processors are rejuvenated after each failure and checkpoint,
+    and that this is "unreasonable for Weibull failures" ([13]); this
+    experiment puts numbers on that criticism. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

@@ -1,0 +1,47 @@
+type experiment = {
+  id : string;
+  claim : string;
+  run : Common.config -> Common.output list;
+}
+
+let all =
+  [
+    { id = E01_prop1.name; claim = E01_prop1.claim; run = E01_prop1.run };
+    { id = E02_approximations.name; claim = E02_approximations.claim;
+      run = E02_approximations.run };
+    { id = E03_dp_optimality.name; claim = E03_dp_optimality.claim;
+      run = E03_dp_optimality.run };
+    { id = E04_dp_scaling.name; claim = E04_dp_scaling.claim; run = E04_dp_scaling.run };
+    { id = E05_reduction.name; claim = E05_reduction.claim; run = E05_reduction.run };
+    { id = E06_convexity.name; claim = E06_convexity.claim; run = E06_convexity.run };
+    { id = E07_chain_policies.name; claim = E07_chain_policies.claim;
+      run = E07_chain_policies.run };
+    { id = E08_independent.name; claim = E08_independent.claim; run = E08_independent.run };
+    { id = E09_moldable.name; claim = E09_moldable.claim; run = E09_moldable.run };
+    { id = E10_nonmemoryless.name; claim = E10_nonmemoryless.claim;
+      run = E10_nonmemoryless.run };
+    { id = E11_dag_costs.name; claim = E11_dag_costs.claim; run = E11_dag_costs.run };
+    { id = E12_cascading.name; claim = E12_cascading.claim; run = E12_cascading.run };
+    { id = E13_btw.name; claim = E13_btw.claim; run = E13_btw.run };
+    { id = E14_period_sensitivity.name; claim = E14_period_sensitivity.claim;
+      run = E14_period_sensitivity.run };
+    { id = E15_moldable_chain.name; claim = E15_moldable_chain.claim;
+      run = E15_moldable_chain.run };
+    { id = E16_replication.name; claim = E16_replication.claim; run = E16_replication.run };
+    { id = E17_rejuvenation.name; claim = E17_rejuvenation.claim;
+      run = E17_rejuvenation.run };
+  ]
+
+let find id =
+  let target = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.id = target) all
+
+let run_and_print config experiment =
+  Printf.printf "\n##### %s — %s\n\n" experiment.id experiment.claim;
+  let elapsed, outputs = Common.time (fun () -> experiment.run config) in
+  List.iter
+    (fun output ->
+      Common.print_output output;
+      print_newline ())
+    outputs;
+  Printf.printf "(%s completed in %.2f s)\n" experiment.id elapsed

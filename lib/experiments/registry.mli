@@ -1,0 +1,17 @@
+(** Registry of all experiments, used by the CLI runner and the bench
+    harness. *)
+
+type experiment = {
+  id : string;  (** "E1" .. "E12". *)
+  claim : string;
+  run : Common.config -> Common.output list;
+}
+
+val all : experiment list
+(** In order E1 .. E12. *)
+
+val find : string -> experiment option
+(** Case-insensitive lookup by id. *)
+
+val run_and_print : Common.config -> experiment -> unit
+(** Execute and print every table, with timing. *)

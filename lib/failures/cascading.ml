@@ -1,0 +1,36 @@
+module Rng = Ckpt_prng.Rng
+module Welford = Ckpt_stats.Welford
+
+let check ~lambda ~downtime =
+  if not (lambda > 0.0) then invalid_arg "Cascading: lambda must be positive";
+  if downtime < 0.0 then invalid_arg "Cascading: downtime must be non-negative"
+
+let expected_effective ~lambda ~downtime =
+  check ~lambda ~downtime;
+  Float.expm1 (lambda *. downtime) /. lambda
+
+let expected_excess ~lambda ~downtime =
+  expected_effective ~lambda ~downtime -. downtime
+
+let expected_cascade_failures ~lambda ~downtime =
+  check ~lambda ~downtime;
+  Float.expm1 (lambda *. downtime)
+
+let simulate_one ~lambda ~downtime rng =
+  check ~lambda ~downtime;
+  (* Failure at time 0; the platform recovers at the end of the first
+     D-length gap between consecutive failures. *)
+  let rec wait last_failure =
+    let gap = -.log (Rng.float_pos rng) /. lambda in
+    if gap >= downtime then last_failure +. downtime else wait (last_failure +. gap)
+  in
+  wait 0.0
+
+let simulate ~lambda ~downtime ~runs rng =
+  if runs <= 0 then invalid_arg "Cascading.simulate: runs must be positive";
+  let acc = Welford.create () in
+  for run = 0 to runs - 1 do
+    let run_rng = Rng.substream rng (Printf.sprintf "cascade-%d" run) in
+    Welford.add acc (simulate_one ~lambda ~downtime run_rng)
+  done;
+  acc

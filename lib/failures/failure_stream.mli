@@ -1,0 +1,53 @@
+(** Platform-level failure event sources.
+
+    A source answers one question for the simulator: given the current
+    absolute time, when does the next platform failure strike? Three
+    implementations are provided:
+
+    - {!poisson}: the memoryless shortcut for Exponential platforms
+      (equivalent to the renewal construction, but O(1) per query);
+    - {!renewal}: p independent per-processor renewal processes with an
+      arbitrary law, merged — the construction needed for the Section 6
+      extension (no closed form, history matters);
+    - {!of_trace}: replay of a recorded failure trace.
+
+    Queries must be made with non-decreasing times; scheduled failures
+    skipped over by a query (e.g. those falling inside a downtime
+    window, during which the paper's model says no failure can occur)
+    are consumed and the affected processors' clocks renew. *)
+
+type t
+
+type rejuvenation =
+  | Failed_only
+      (** Only the processor that failed restarts its failure clock —
+          the realistic model advocated in the authors' related work. *)
+  | All_processors
+      (** Every processor is rejuvenated at each failure — the
+          assumption underlying Bouguerra et al.'s analysis, kept here
+          for comparison. Indistinguishable from [Failed_only] for
+          Exponential laws. *)
+
+val poisson : rate:float -> Ckpt_prng.Rng.t -> t
+(** Memoryless source with platform failure rate [rate] > 0. *)
+
+val renewal :
+  ?rejuvenation:rejuvenation -> law:Ckpt_dist.Law.t -> processors:int ->
+  Ckpt_prng.Rng.t -> t
+(** Superposition of [processors] i.i.d. renewal processes. Default
+    rejuvenation: [Failed_only]. *)
+
+val of_platform : ?rejuvenation:rejuvenation -> Platform.t -> Ckpt_prng.Rng.t -> t
+(** {!poisson} when the platform law is Exponential (using the
+    superposed rate p·λproc), {!renewal} otherwise. *)
+
+val of_times : float array -> t
+(** Replay a fixed sorted array of absolute failure times; after the
+    last one, no further failure occurs ({!next_after} returns
+    [infinity]). Raises [Invalid_argument] if the array is not sorted or
+    contains a negative time. *)
+
+val next_after : t -> float -> float
+(** [next_after t time] is the absolute time of the first failure
+    strictly later than [time]. Consumes all failures at or before
+    [time]. Times passed to successive calls must be non-decreasing. *)

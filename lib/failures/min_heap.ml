@@ -1,0 +1,60 @@
+type 'a t = { mutable items : (float * 'a) array; mutable size : int }
+
+let create () = { items = [||]; size = 0 }
+let size t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let capacity = Array.length t.items in
+  if t.size = capacity then begin
+    let fresh = Array.make (Stdlib.max 8 (2 * capacity)) t.items.(0) in
+    Array.blit t.items 0 fresh 0 t.size;
+    t.items <- fresh
+  end
+
+let swap t i j =
+  let tmp = t.items.(i) in
+  t.items.(i) <- t.items.(j);
+  t.items.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst t.items.(i) < fst t.items.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && fst t.items.(left) < fst t.items.(!smallest) then smallest := left;
+  if right < t.size && fst t.items.(right) < fst t.items.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t time payload =
+  if t.size = 0 && Array.length t.items = 0 then t.items <- Array.make 8 (time, payload);
+  grow t;
+  t.items.(t.size) <- (time, payload);
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.items.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.items.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.items.(0) <- t.items.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let clear t = t.size <- 0

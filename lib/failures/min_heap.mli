@@ -1,0 +1,17 @@
+(** Array-based binary min-heap of (time, payload) pairs, ordered by
+    time. Internal workhorse of the failure streams. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest element, without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit

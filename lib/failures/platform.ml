@@ -1,0 +1,26 @@
+module Law = Ckpt_dist.Law
+
+type t = { processors : int; proc_law : Law.t; downtime : float }
+
+let make ?(downtime = 0.0) ~processors ~proc_law () =
+  if processors <= 0 then invalid_arg "Platform.make: processors must be positive";
+  if downtime < 0.0 then invalid_arg "Platform.make: downtime must be non-negative";
+  match Law.validate proc_law with
+  | Error msg -> invalid_arg ("Platform.make: " ^ msg)
+  | Ok proc_law -> { processors; proc_law; downtime }
+
+let exponential ?downtime ~processors ~proc_rate () =
+  make ?downtime ~processors ~proc_law:(Law.exponential ~rate:proc_rate) ()
+
+let platform_rate t =
+  match t.proc_law with
+  | Law.Exponential { rate } -> float_of_int t.processors *. rate
+  | _ -> invalid_arg "Platform.platform_rate: only defined for Exponential laws"
+
+let platform_mtbf t = Law.mean t.proc_law /. float_of_int t.processors
+
+let to_string t =
+  Printf.sprintf "Platform(p=%d, law=%s, D=%g)" t.processors (Law.to_string t.proc_law)
+    t.downtime
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

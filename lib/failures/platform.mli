@@ -1,0 +1,30 @@
+(** The execution platform of Section 2: [processors] identical
+    processors, each subject to failures with inter-arrival law
+    [proc_law], a downtime [downtime] (D) after each failure, and
+    coordinated checkpoint/rollback at the system level. *)
+
+type t = private {
+  processors : int;  (** p >= 1 *)
+  proc_law : Ckpt_dist.Law.t;  (** per-processor inter-arrival law *)
+  downtime : float;  (** D >= 0 *)
+}
+
+val make : ?downtime:float -> processors:int -> proc_law:Ckpt_dist.Law.t -> unit -> t
+(** Raises [Invalid_argument] on a non-positive processor count, invalid
+    law, or negative downtime. [downtime] defaults to 0. *)
+
+val exponential : ?downtime:float -> processors:int -> proc_rate:float -> unit -> t
+(** Platform with Exponential(λproc) processors. *)
+
+val platform_rate : t -> float
+(** For an Exponential per-processor law, the platform failure rate
+    λ = p·λproc (superposition of p Poisson processes). Raises
+    [Invalid_argument] for other laws, where no single rate exists. *)
+
+val platform_mtbf : t -> float
+(** Mean time between platform failures: per-processor mean / p. Exact
+    for Exponential; for other laws this is the long-run renewal rate
+    approximation. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

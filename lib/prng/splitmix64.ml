@@ -1,0 +1,26 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let of_label seed label =
+  (* Absorb the label bytes FNV-style into the seed, then mix once per
+     byte through the SplitMix64 finalizer so that labels sharing a
+     prefix still diverge completely. *)
+  let acc = ref seed in
+  String.iter
+    (fun c ->
+      acc := Int64.mul (Int64.logxor !acc (Int64.of_int (Char.code c))) 0x100000001B3L;
+      acc := mix !acc)
+    label;
+  mix !acc

@@ -1,0 +1,20 @@
+(** SplitMix64: a tiny, fast, well-distributed 64-bit generator.
+
+    Used here mainly to expand user-supplied seeds into full generator
+    states, and to derive independent sub-seeds from string labels.
+    Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+    generators", OOPSLA 2014. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from an arbitrary 64-bit seed. *)
+
+val next : t -> int64
+(** [next t] returns the next 64-bit output and advances the state. *)
+
+val of_label : int64 -> string -> int64
+(** [of_label seed label] deterministically derives a 64-bit sub-seed
+    from [seed] and a human-readable [label]. Distinct labels give
+    (with overwhelming probability) unrelated sub-seeds. *)

@@ -1,0 +1,27 @@
+(** xoshiro256**: the main 64-bit generator used throughout the library.
+
+    Fast, passes BigCrush, and supports [jump] for cheaply creating
+    2^128 independent sequences from a single seed.
+    Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+    generators", ACM TOMS 2021. *)
+
+type t
+(** Mutable generator state (256 bits). *)
+
+val create : int64 -> t
+(** [create seed] expands [seed] through SplitMix64 into a full state. *)
+
+val copy : t -> t
+(** [copy t] is an independent clone of the current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val jump : t -> unit
+(** [jump t] advances [t] by 2^128 steps in-place; used to partition one
+    seed into many non-overlapping streams. *)
+
+val split : t -> t
+(** [split t] returns a generator at [t]'s current position and jumps
+    [t] itself by 2^128 steps, so repeated splits yield pairwise
+    non-overlapping streams. *)

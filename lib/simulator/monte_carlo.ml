@@ -1,0 +1,140 @@
+module Rng = Ckpt_prng.Rng
+module Welford = Ckpt_stats.Welford
+module Failure_stream = Ckpt_failures.Failure_stream
+module Trace = Ckpt_failures.Trace
+
+type estimate = {
+  mean : float;
+  stddev : float;
+  std_error : float;
+  runs : int;
+  ci99 : float * float;
+  min : float;
+  max : float;
+}
+
+let contains (lo, hi) x = lo <= x && x <= hi
+
+let pp_estimate fmt e =
+  let lo, hi = e.ci99 in
+  Format.fprintf fmt "%.6g ± %.2g (99%% CI [%.6g, %.6g], n=%d)" e.mean
+    (2.576 *. e.std_error) lo hi e.runs
+
+type failure_model =
+  | Poisson_rate of float
+  | Platform of Ckpt_failures.Platform.t
+  | Platform_rejuvenating of Ckpt_failures.Platform.t
+
+let stream_of_model model rng =
+  match model with
+  | Poisson_rate rate -> Failure_stream.poisson ~rate rng
+  | Platform platform -> Failure_stream.of_platform platform rng
+  | Platform_rejuvenating platform ->
+      Failure_stream.of_platform ~rejuvenation:Failure_stream.All_processors platform rng
+
+let estimate_of_welford acc =
+  {
+    mean = Welford.mean acc;
+    stddev = Welford.stddev acc;
+    std_error = Welford.std_error acc;
+    runs = Welford.count acc;
+    ci99 = Welford.confidence_interval acc ~level:0.99;
+    min = Welford.min acc;
+    max = Welford.max acc;
+  }
+
+let replicate ~runs ~rng run_once =
+  if runs <= 0 then invalid_arg "Monte_carlo: runs must be positive";
+  let acc = Welford.create () in
+  for run = 0 to runs - 1 do
+    let run_rng = Rng.substream rng (Printf.sprintf "run-%d" run) in
+    Welford.add acc (run_once run_rng)
+  done;
+  estimate_of_welford acc
+
+let estimate_segments ~model ~downtime ~runs ~rng segments =
+  replicate ~runs ~rng (fun run_rng ->
+      let stream = stream_of_model model run_rng in
+      Sim_run.run_segments ~downtime
+        ~next_failure:(Failure_stream.next_after stream)
+        segments)
+
+let estimate_chain_policy ~model ~downtime ~initial_recovery ~runs ~rng ~decide tasks =
+  replicate ~runs ~rng (fun run_rng ->
+      let stream = stream_of_model model run_rng in
+      Sim_run.run_chain_policy ~initial_recovery ~downtime ~decide
+        ~next_failure:(Failure_stream.next_after stream)
+        tasks)
+
+let estimate_segments_parallel ?domains ~model ~downtime ~runs ~rng segments =
+  if runs <= 0 then invalid_arg "Monte_carlo: runs must be positive";
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Monte_carlo.estimate_segments_parallel: domains must be >= 1"
+    | None -> Stdlib.min 8 (Domain.recommended_domain_count ())
+  in
+  let domains = Stdlib.min domains runs in
+  let seed = Rng.seed_of rng in
+  let worker d =
+    (* Each domain derives its runs' substreams from the shared seed, so
+       the union over domains is exactly the sequential sample set. *)
+    let root = Rng.create ~seed in
+    let acc = Welford.create () in
+    let run = ref d in
+    while !run < runs do
+      let run_rng = Rng.substream root (Printf.sprintf "run-%d" !run) in
+      let stream = stream_of_model model run_rng in
+      Welford.add acc
+        (Sim_run.run_segments ~downtime
+           ~next_failure:(Failure_stream.next_after stream)
+           segments);
+      run := !run + domains
+    done;
+    acc
+  in
+  let handles = List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
+  let local = worker 0 in
+  let merged = List.fold_left (fun acc h -> Welford.merge acc (Domain.join h)) local handles in
+  estimate_of_welford merged
+
+type distribution = { samples : float array; estimate : estimate }
+
+let collect_segments ~model ~downtime ~runs ~rng segments =
+  if runs <= 0 then invalid_arg "Monte_carlo.collect_segments: runs must be positive";
+  let acc = Welford.create () in
+  let samples =
+    Array.init runs (fun run ->
+        let run_rng = Rng.substream rng (Printf.sprintf "run-%d" run) in
+        let stream = stream_of_model model run_rng in
+        let makespan =
+          Sim_run.run_segments ~downtime
+            ~next_failure:(Failure_stream.next_after stream)
+            segments
+        in
+        Welford.add acc makespan;
+        makespan)
+  in
+  Array.sort compare samples;
+  { samples; estimate = estimate_of_welford acc }
+
+let quantile d q = Ckpt_stats.Descriptive.quantile d.samples q
+
+let run_segments_on_trace ~downtime ~trace segments =
+  let stream = Trace.to_stream trace in
+  Sim_run.run_segments ~downtime ~next_failure:(Failure_stream.next_after stream) segments
+
+let estimate_chain_policy_on_logs ~downtime ~initial_recovery ~logs ~decide tasks =
+  if logs = [] then invalid_arg "Monte_carlo.estimate_chain_policy_on_logs: no traces";
+  let acc = Welford.create () in
+  List.iter
+    (fun trace ->
+      let stream = Trace.to_stream trace in
+      let makespan =
+        Sim_run.run_chain_policy ~initial_recovery ~downtime ~decide
+          ~next_failure:(Failure_stream.next_after stream)
+          tasks
+      in
+      Welford.add acc makespan)
+    logs;
+  estimate_of_welford acc

@@ -1,0 +1,92 @@
+(** Replication driver: estimate the expected makespan of a checkpointed
+    workload by repeated simulation, with confidence intervals. *)
+
+type estimate = {
+  mean : float;
+  stddev : float;
+  std_error : float;
+  runs : int;
+  ci99 : float * float;  (** 99% normal-approximation interval. *)
+  min : float;
+  max : float;
+}
+
+val contains : float * float -> float -> bool
+(** [contains (lo, hi) x] tests interval membership. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit
+
+type failure_model =
+  | Poisson_rate of float  (** Platform-level Exponential rate λ. *)
+  | Platform of Ckpt_failures.Platform.t
+  | Platform_rejuvenating of Ckpt_failures.Platform.t
+      (** Renewal processes with all-processor rejuvenation. *)
+
+val estimate_segments :
+  model:failure_model ->
+  downtime:float ->
+  runs:int ->
+  rng:Ckpt_prng.Rng.t ->
+  Sim_run.segment list ->
+  estimate
+(** Independent replications of {!Sim_run.run_segments}: run [r] draws
+    its failures from the substream ["run-r"] of [rng], so individual
+    runs are reproducible and order-independent. *)
+
+val estimate_chain_policy :
+  model:failure_model ->
+  downtime:float ->
+  initial_recovery:float ->
+  runs:int ->
+  rng:Ckpt_prng.Rng.t ->
+  decide:(Sim_run.chain_context -> bool) ->
+  Ckpt_dag.Task.t array ->
+  estimate
+(** Same replication scheme for the policy-driven chain executor. *)
+
+val estimate_segments_parallel :
+  ?domains:int ->
+  model:failure_model ->
+  downtime:float ->
+  runs:int ->
+  rng:Ckpt_prng.Rng.t ->
+  Sim_run.segment list ->
+  estimate
+(** Multicore version of {!estimate_segments} (OCaml 5 domains,
+    default: [Domain.recommended_domain_count], capped at 8). Run [r]
+    still draws from the substream ["run-r"], so the sample set is
+    {e identical} to the sequential driver's — only the Welford merge
+    order differs (statistically irrelevant, float-rounding level). *)
+
+type distribution = {
+  samples : float array;  (** Sorted makespan samples. *)
+  estimate : estimate;
+}
+
+val collect_segments :
+  model:failure_model ->
+  downtime:float ->
+  runs:int ->
+  rng:Ckpt_prng.Rng.t ->
+  Sim_run.segment list ->
+  distribution
+(** Like {!estimate_segments} but keeps every sample, for tail analysis
+    (checkpointing narrows the makespan distribution, not only its
+    mean — see the [tail_latency] example). *)
+
+val quantile : distribution -> float -> float
+(** [quantile d q] with q in [0, 1]. *)
+
+val run_segments_on_trace :
+  downtime:float -> trace:Ckpt_failures.Trace.t -> Sim_run.segment list -> float
+(** One deterministic execution against a recorded trace. *)
+
+val estimate_chain_policy_on_logs :
+  downtime:float ->
+  initial_recovery:float ->
+  logs:Ckpt_failures.Trace.t list ->
+  decide:(Sim_run.chain_context -> bool) ->
+  Ckpt_dag.Task.t array ->
+  estimate
+(** One execution per recorded trace (e.g. one per synthetic cluster-log
+    sample); the estimate aggregates across traces. *)

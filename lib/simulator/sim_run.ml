@@ -1,0 +1,183 @@
+module Task = Ckpt_dag.Task
+
+type segment = { work : float; checkpoint : float; recovery : float }
+
+let segment ~work ~checkpoint ~recovery =
+  if work < 0.0 || checkpoint < 0.0 || recovery < 0.0 then
+    invalid_arg "Sim_run.segment: durations must be non-negative";
+  { work; checkpoint; recovery }
+
+exception Livelock of int
+
+let default_max_failures = 10_000_000
+
+let count_failure ~max_failures counter =
+  incr counter;
+  if !counter > max_failures then raise (Livelock !counter)
+
+(* Run a recovery of length [recovery]: failures restart downtime +
+   recovery; returns the completion time. [on_failure] observes each
+   failure instant (the chain executor tracks the last failure time for
+   the policy context). *)
+let run_recovery ?(on_failure = fun (_ : float) -> ()) ~max_failures ~counter ~downtime
+    ~next_failure ~recovery start =
+  let rec loop t =
+    let finish = t +. recovery in
+    let fail = next_failure t in
+    if fail >= finish then finish
+    else begin
+      count_failure ~max_failures counter;
+      on_failure fail;
+      loop (fail +. downtime)
+    end
+  in
+  loop start
+
+type run_stats = { makespan : float; failures : int }
+
+type phase = Work_phase | Checkpoint_phase | Downtime_phase | Recovery_phase
+
+type event = {
+  phase : phase;
+  segment : int;
+  start : float;
+  finish : float;
+  interrupted : bool;
+}
+
+let no_emit (_ : event) = ()
+
+let run_segments_emitting ?(max_failures = default_max_failures) ~emit ~downtime
+    ~next_failure segments =
+  if downtime < 0.0 then invalid_arg "Sim_run.run_segments: negative downtime";
+  let counter = ref 0 in
+  let run_segment t (index, seg) =
+    (* Emit the work/checkpoint spans of one attempt window ending (or
+       interrupted) at [stop]. *)
+    let emit_attempt t stop interrupted =
+      let work_end = t +. seg.work in
+      if stop <= work_end then begin
+        if stop > t || interrupted then
+          emit { phase = Work_phase; segment = index; start = t; finish = stop; interrupted }
+      end
+      else begin
+        if seg.work > 0.0 then
+          emit { phase = Work_phase; segment = index; start = t; finish = work_end;
+                 interrupted = false };
+        emit { phase = Checkpoint_phase; segment = index; start = work_end; finish = stop;
+               interrupted }
+      end
+    in
+    let rec recover t =
+      let finish = t +. seg.recovery in
+      let fail = next_failure t in
+      if fail >= finish then begin
+        if seg.recovery > 0.0 then
+          emit { phase = Recovery_phase; segment = index; start = t; finish;
+                 interrupted = false };
+        finish
+      end
+      else begin
+        count_failure ~max_failures counter;
+        emit { phase = Recovery_phase; segment = index; start = t; finish = fail;
+               interrupted = true };
+        emit { phase = Downtime_phase; segment = index; start = fail;
+               finish = fail +. downtime; interrupted = false };
+        recover (fail +. downtime)
+      end
+    in
+    let rec attempt t =
+      let finish = t +. seg.work +. seg.checkpoint in
+      let fail = next_failure t in
+      if fail >= finish then begin
+        emit_attempt t finish false;
+        finish
+      end
+      else begin
+        count_failure ~max_failures counter;
+        emit_attempt t fail true;
+        emit { phase = Downtime_phase; segment = index; start = fail;
+               finish = fail +. downtime; interrupted = false };
+        attempt (recover (fail +. downtime))
+      end
+    in
+    attempt t
+  in
+  let makespan =
+    List.fold_left run_segment 0.0 (List.mapi (fun i seg -> (i, seg)) segments)
+  in
+  { makespan; failures = !counter }
+
+let run_segments_stats ?max_failures ~downtime ~next_failure segments =
+  run_segments_emitting ?max_failures ~emit:no_emit ~downtime ~next_failure segments
+
+let run_segments ?max_failures ~downtime ~next_failure segments =
+  (run_segments_stats ?max_failures ~downtime ~next_failure segments).makespan
+
+let run_segments_traced ?max_failures ~downtime ~next_failure segments =
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let stats = run_segments_emitting ?max_failures ~emit ~downtime ~next_failure segments in
+  (stats, List.rev !events)
+
+type chain_context = {
+  task_index : int;
+  last_checkpoint : int;
+  now : float;
+  since_last_failure : float;
+  work_since_checkpoint : float;
+}
+
+let run_chain_policy ?(max_failures = default_max_failures) ~initial_recovery ~downtime
+    ~decide ~next_failure tasks =
+  if initial_recovery < 0.0 then
+    invalid_arg "Sim_run.run_chain_policy: negative initial recovery";
+  if downtime < 0.0 then invalid_arg "Sim_run.run_chain_policy: negative downtime";
+  let counter = ref 0 in
+  let n = Array.length tasks in
+  let last_failure = ref 0.0 in
+  let recovery_of last_ckpt =
+    if last_ckpt < 0 then initial_recovery else tasks.(last_ckpt).Task.recovery_cost
+  in
+  (* [execute t last_ckpt i acc_work] runs tasks i.. with [acc_work]
+     work accumulated since the checkpoint after task [last_ckpt]. *)
+  let rec execute t last_ckpt i acc_work =
+    if i >= n then t
+    else begin
+      let task = tasks.(i) in
+      let finish = t +. task.Task.work in
+      let fail = next_failure t in
+      if fail < finish then rollback fail last_ckpt
+      else begin
+        let acc_work = acc_work +. task.Task.work in
+        let ctx =
+          {
+            task_index = i;
+            last_checkpoint = last_ckpt;
+            now = finish;
+            since_last_failure = finish -. !last_failure;
+            work_since_checkpoint = acc_work;
+          }
+        in
+        let wants_checkpoint = i = n - 1 || decide ctx in
+        if not wants_checkpoint then execute finish last_ckpt (i + 1) acc_work
+        else begin
+          let ckpt_finish = finish +. task.Task.checkpoint_cost in
+          let fail = next_failure finish in
+          if fail < ckpt_finish then rollback fail last_ckpt
+          else execute ckpt_finish i (i + 1) 0.0
+        end
+      end
+    end
+  and rollback fail_time last_ckpt =
+    count_failure ~max_failures counter;
+    last_failure := fail_time;
+    let recovered =
+      run_recovery
+        ~on_failure:(fun fail -> last_failure := fail)
+        ~max_failures ~counter ~downtime ~next_failure
+        ~recovery:(recovery_of last_ckpt) (fail_time +. downtime)
+    in
+    execute recovered last_ckpt (last_ckpt + 1) 0.0
+  in
+  execute 0.0 (-1) 0 0.0

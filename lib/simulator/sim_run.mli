@@ -1,0 +1,106 @@
+(** Single-run execution of a checkpointed workload against a failure
+    source, implementing exactly the Section 2 semantics:
+
+    - work executes, then (optionally) a checkpoint is taken;
+    - a failure during work or checkpoint loses the progress since the
+      last checkpoint and triggers a downtime [D] followed by a recovery
+      of the appropriate duration;
+    - failures may strike during recovery (restarting downtime +
+      recovery) but not during downtime;
+    - after a successful recovery, the interrupted portion restarts from
+      the last checkpointed state. *)
+
+type segment = {
+  work : float;  (** Total work executed in the segment (>= 0). *)
+  checkpoint : float;  (** Checkpoint cost C at segment end (>= 0). *)
+  recovery : float;
+      (** Recovery cost R to restore the state at the {e start} of this
+          segment (the checkpoint taken at the end of the previous
+          segment, or the initial-state recovery cost for the first
+          segment). *)
+}
+
+val segment : work:float -> checkpoint:float -> recovery:float -> segment
+(** Validated constructor. *)
+
+exception Livelock of int
+(** Raised when a single run absorbs more failures than its
+    [max_failures] bound: the workload can never finish (e.g. a
+    deterministic failure period shorter than a recovery), or the bound
+    was set too low. Carries the failure count reached. *)
+
+val run_segments :
+  ?max_failures:int ->
+  downtime:float -> next_failure:(float -> float) -> segment list -> float
+(** [run_segments ~downtime ~next_failure segments] executes the
+    segments in order starting at time 0 and returns the makespan.
+    [next_failure t] must return the absolute time of the first failure
+    strictly after [t] (see {!Ckpt_failures.Failure_stream.next_after});
+    queries are made with non-decreasing [t]. Raises {!Livelock} after
+    [max_failures] failures (default 10,000,000). *)
+
+type run_stats = {
+  makespan : float;
+  failures : int;  (** Failures endured (work, checkpoint and recovery phases). *)
+}
+
+type phase =
+  | Work_phase
+  | Checkpoint_phase
+  | Downtime_phase
+  | Recovery_phase
+
+type event = {
+  phase : phase;
+  segment : int;  (** 0-based index of the segment being executed. *)
+  start : float;
+  finish : float;  (** Truncated at the failure instant when interrupted. *)
+  interrupted : bool;
+}
+
+val run_segments_traced :
+  ?max_failures:int ->
+  downtime:float -> next_failure:(float -> float) -> segment list ->
+  run_stats * event list
+(** {!run_segments_stats} plus the full event log of the run, in
+    chronological order — the raw material for the ASCII timeline
+    ({!Timeline}) and for failure-injection debugging. *)
+
+val run_segments_stats :
+  ?max_failures:int ->
+  downtime:float -> next_failure:(float -> float) -> segment list -> run_stats
+(** {!run_segments} plus the failure count, for validating the expected
+    failure-count formula ({!Ckpt_core.Expected_time.expected_failures}). *)
+
+type chain_context = {
+  task_index : int;  (** Index of the task that just completed. *)
+  last_checkpoint : int;
+      (** Index of the last successfully checkpointed task, or -1 if no
+          checkpoint has completed yet. *)
+  now : float;  (** Current absolute simulated time. *)
+  since_last_failure : float;
+      (** Time elapsed since the last failure (or since 0 if none),
+          i.e. the processor-age information a non-memoryless policy
+          needs (Section 6). *)
+  work_since_checkpoint : float;
+      (** Work accumulated since the last successful checkpoint,
+          including the task that just completed. *)
+}
+
+val run_chain_policy :
+  ?max_failures:int ->
+  initial_recovery:float ->
+  downtime:float ->
+  decide:(chain_context -> bool) ->
+  next_failure:(float -> float) ->
+  Ckpt_dag.Task.t array ->
+  float
+(** Execute a linear chain task by task; after each completed task, the
+    [decide] callback chooses whether to checkpoint (at that task's
+    [checkpoint_cost]). A failure rolls back to the last checkpointed
+    task (recovery at that task's [recovery_cost], or
+    [initial_recovery] when no checkpoint was taken yet) and the tasks
+    after it re-execute, [decide] being consulted anew. A checkpoint is
+    always taken after the final task, closing the run, as in the
+    paper's model. Returns the makespan. Raises {!Livelock} after
+    [max_failures] failures (default 10,000,000). *)

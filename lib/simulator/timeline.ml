@@ -1,0 +1,56 @@
+let phase_char (phase : Sim_run.phase) =
+  match phase with
+  | Sim_run.Work_phase -> '='
+  | Sim_run.Checkpoint_phase -> 'C'
+  | Sim_run.Downtime_phase -> '.'
+  | Sim_run.Recovery_phase -> 'r'
+
+let phase_name (phase : Sim_run.phase) =
+  match phase with
+  | Sim_run.Work_phase -> "work"
+  | Sim_run.Checkpoint_phase -> "checkpoint"
+  | Sim_run.Downtime_phase -> "downtime"
+  | Sim_run.Recovery_phase -> "recovery"
+
+let render ?(width = 100) events =
+  if width < 10 then invalid_arg "Timeline.render: width too small";
+  match events with
+  | [] -> "(empty run)\n"
+  | _ ->
+      let horizon =
+        List.fold_left (fun acc (e : Sim_run.event) -> Float.max acc e.Sim_run.finish) 0.0
+          events
+      in
+      let horizon = if horizon <= 0.0 then 1.0 else horizon in
+      let strip = Bytes.make width ' ' in
+      let column t =
+        Stdlib.min (width - 1) (int_of_float (t /. horizon *. float_of_int width))
+      in
+      List.iter
+        (fun (e : Sim_run.event) ->
+          let c0 = column e.Sim_run.start and c1 = column e.Sim_run.finish in
+          for c = c0 to c1 do
+            Bytes.set strip c (phase_char e.Sim_run.phase)
+          done)
+        events;
+      (* Failure markers last, so later spans cannot overwrite them. *)
+      List.iter
+        (fun (e : Sim_run.event) ->
+          if e.Sim_run.interrupted then Bytes.set strip (column e.Sim_run.finish) 'x')
+        events;
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf (Printf.sprintf "t=0%*s\n" (width - 3) (Printf.sprintf "t=%.6g" horizon));
+      Buffer.add_string buf ("|" ^ Bytes.to_string strip ^ "|\n");
+      Buffer.add_string buf "legend: = work, C checkpoint, . downtime, r recovery, x failure\n";
+      Buffer.contents buf
+
+let summary events =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (e : Sim_run.event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%10.4f -> %10.4f  segment %d  %-10s%s\n" e.Sim_run.start
+           e.Sim_run.finish e.Sim_run.segment (phase_name e.Sim_run.phase)
+           (if e.Sim_run.interrupted then "  [interrupted by failure]" else "")))
+    events;
+  Buffer.contents buf

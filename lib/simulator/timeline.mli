@@ -1,0 +1,20 @@
+(** ASCII rendering of simulated execution logs — a Gantt-style strip
+    showing work, checkpoints, downtimes and recoveries, for debugging
+    failure scenarios and for teaching the model:
+
+    {v
+    t=0                                                      t=35.6
+    |=====================x..rr=======================CC|====CC|
+    v}
+
+    [=] work, [C] checkpoint, [.] downtime, [r] recovery, [x] the
+    instant a failure interrupted the current phase. *)
+
+val render : ?width:int -> Sim_run.event list -> string
+(** Render the event log (from {!Sim_run.run_segments_traced}) to a
+    fixed [width] (default 100 columns). Returns a short multi-line
+    string including the time scale and a legend. *)
+
+val summary : Sim_run.event list -> string
+(** One line per event, exact times — the verbose companion of
+    {!render}. *)

@@ -1,0 +1,75 @@
+type series = { label : char; points : (float * float) list }
+
+let plot ?(width = 72) ?(height = 20) ?(log_x = false) ?(log_y = false) ?title series =
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot.plot: grid too small";
+  let all = List.concat_map (fun s -> s.points) series in
+  if all = [] then invalid_arg "Ascii_plot.plot: no points";
+  let tx x =
+    if log_x then begin
+      if x <= 0.0 then invalid_arg "Ascii_plot.plot: log axis needs positive x";
+      log10 x
+    end
+    else x
+  and ty y =
+    if log_y then begin
+      if y <= 0.0 then invalid_arg "Ascii_plot.plot: log axis needs positive y";
+      log10 y
+    end
+    else y
+  in
+  List.iter
+    (fun (x, y) ->
+      if not (Float.is_finite x && Float.is_finite y) then
+        invalid_arg "Ascii_plot.plot: non-finite coordinate")
+    all;
+  let xs = List.map (fun (x, _) -> tx x) all and ys = List.map (fun (_, y) -> ty y) all in
+  let x_min = List.fold_left Float.min infinity xs
+  and x_max = List.fold_left Float.max neg_infinity xs
+  and y_min = List.fold_left Float.min infinity ys
+  and y_max = List.fold_left Float.max neg_infinity ys in
+  let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+  let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+  let grid = Array.init height (fun _ -> Bytes.make width ' ') in
+  let place label x y =
+    let col =
+      Stdlib.min (width - 1) (int_of_float ((tx x -. x_min) /. x_span *. float_of_int (width - 1)))
+    in
+    let row_from_bottom =
+      Stdlib.min (height - 1)
+        (int_of_float ((ty y -. y_min) /. y_span *. float_of_int (height - 1)))
+    in
+    Bytes.set grid.(height - 1 - row_from_bottom) col label
+  in
+  List.iter (fun s -> List.iter (fun (x, y) -> place s.label x y) s.points) series;
+  let buf = Buffer.create 1024 in
+  (match title with Some t -> Buffer.add_string buf (t ^ "\n") | None -> ());
+  let y_at row_from_top =
+    let frac = float_of_int (height - 1 - row_from_top) /. float_of_int (height - 1) in
+    let v = y_min +. (frac *. y_span) in
+    if log_y then 10.0 ** v else v
+  in
+  Array.iteri
+    (fun row line ->
+      let label =
+        if row = 0 || row = height - 1 || row = height / 2 then
+          Printf.sprintf "%10.3g |" (y_at row)
+        else Printf.sprintf "%10s |" ""
+      in
+      Buffer.add_string buf (label ^ Bytes.to_string line ^ "\n"))
+    grid;
+  Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+  let x_lo = if log_x then 10.0 ** x_min else x_min in
+  let x_hi = if log_x then 10.0 ** x_max else x_max in
+  let left = Printf.sprintf "%.4g" x_lo and right = Printf.sprintf "%.4g" x_hi in
+  let pad = Stdlib.max 1 (width - String.length left - String.length right) in
+  Buffer.add_string buf
+    (Printf.sprintf "%10s  %s%s%s%s\n" "" left (String.make pad ' ') right
+       (if log_x || log_y then
+          Printf.sprintf "   (log %s)"
+            (String.concat ","
+               ((if log_x then [ "x" ] else []) @ if log_y then [ "y" ] else []))
+        else ""));
+  Buffer.contents buf
+
+let single ?width ?height ?log_x ?log_y ?title points =
+  plot ?width ?height ?log_x ?log_y ?title [ { label = '*'; points } ]

@@ -1,0 +1,19 @@
+(** Minimal ASCII scatter/line plots, used by the experiment harness to
+    emit figure-like output next to its tables (the paper being
+    theory-only, our "figures" are curves such as the DP scaling law or
+    the convexity valley). *)
+
+type series = { label : char; points : (float * float) list }
+
+val plot :
+  ?width:int -> ?height:int -> ?log_x:bool -> ?log_y:bool -> ?title:string ->
+  series list -> string
+(** Render the series on one grid (default 72×20). Each series is drawn
+    with its [label] character; later series overwrite earlier ones on
+    collisions. Log axes require strictly positive coordinates. Raises
+    [Invalid_argument] on empty input or non-finite coordinates. *)
+
+val single :
+  ?width:int -> ?height:int -> ?log_x:bool -> ?log_y:bool -> ?title:string ->
+  (float * float) list -> string
+(** One-series shorthand (label ['*']). *)

@@ -1,0 +1,18 @@
+(** Batch descriptive statistics over float arrays. *)
+
+val mean : float array -> float
+(** Compensated mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (0 for arrays shorter than 2). *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [0 <= q <= 1]; linear interpolation between
+    order statistics (type-7, the R default). Does not mutate [xs]. *)
+
+val median : float array -> float
+
+val relative_error : actual:float -> reference:float -> float
+(** [|actual - reference| / |reference|]; 0 when both are 0. *)

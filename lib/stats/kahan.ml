@@ -1,0 +1,23 @@
+type t = { mutable sum : float; mutable compensation : float }
+
+let create () = { sum = 0.0; compensation = 0.0 }
+
+let add t x =
+  (* Kahan-Babuska variant: robust when |x| > |sum|. *)
+  let s = t.sum +. x in
+  if Float.abs t.sum >= Float.abs x then
+    t.compensation <- t.compensation +. (t.sum -. s +. x)
+  else t.compensation <- t.compensation +. (x -. s +. t.sum);
+  t.sum <- s
+
+let sum t = t.sum +. t.compensation
+
+let sum_array arr =
+  let t = create () in
+  Array.iter (add t) arr;
+  sum t
+
+let sum_list l =
+  let t = create () in
+  List.iter (add t) l;
+  sum t

@@ -1,0 +1,22 @@
+(** Compensated (Kahan-Babuska) summation.
+
+    Monte-Carlo estimates in this library aggregate up to 10^7 samples;
+    naive summation would lose several digits, which matters when
+    checking a closed-form formula to within a confidence interval. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Accumulate one term. *)
+
+val sum : t -> float
+(** Current compensated sum. *)
+
+val sum_array : float array -> float
+(** One-shot compensated sum of an array. *)
+
+val sum_list : float list -> float
+(** One-shot compensated sum of a list. *)

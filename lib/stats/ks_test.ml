@@ -1,0 +1,43 @@
+let statistic ~cdf xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Ks_test.statistic: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let d = ref 0.0 in
+  let nf = float_of_int n in
+  Array.iteri
+    (fun i x ->
+      let f = cdf x in
+      let above = (float_of_int (i + 1) /. nf) -. f in
+      let below = f -. (float_of_int i /. nf) in
+      if above > !d then d := above;
+      if below > !d then d := below)
+    sorted;
+  !d
+
+(* Two-sided asymptotic distribution: P(D_n > d) ~ 2 Σ_{k>=1} (-1)^{k-1}
+   exp(-2 k^2 t^2), with the standard finite-n adjustment
+   t = d (sqrt n + 0.12 + 0.11 / sqrt n). *)
+let p_value ~n d =
+  if n <= 0 then invalid_arg "Ks_test.p_value: n must be positive";
+  if d <= 0.0 then 1.0
+  else begin
+    let sqrt_n = sqrt (float_of_int n) in
+    let t = d *. (sqrt_n +. 0.12 +. (0.11 /. sqrt_n)) in
+    let acc = ref 0.0 in
+    let term_magnitude = ref infinity in
+    let k = ref 1 in
+    while !term_magnitude > 1e-12 && !k <= 100 do
+      let kf = float_of_int !k in
+      let term = exp (-2.0 *. kf *. kf *. t *. t) in
+      term_magnitude := term;
+      if !k mod 2 = 1 then acc := !acc +. term else acc := !acc -. term;
+      incr k
+    done;
+    Float.max 0.0 (Float.min 1.0 (2.0 *. !acc))
+  end
+
+let test ?(alpha = 0.01) ~cdf xs =
+  if not (alpha > 0.0 && alpha < 1.0) then invalid_arg "Ks_test.test: alpha out of (0,1)";
+  let d = statistic ~cdf xs in
+  p_value ~n:(Array.length xs) d >= alpha

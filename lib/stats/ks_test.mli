@@ -1,0 +1,17 @@
+(** One-sample Kolmogorov-Smirnov goodness-of-fit test: does a sample
+    come from a given continuous distribution? Used by the test suite to
+    validate every sampler against its analytic CDF, and by users to
+    check fitted failure laws against their logs. *)
+
+val statistic : cdf:(float -> float) -> float array -> float
+(** sup_x |F_empirical(x) − F(x)| over the sample points. The sample
+    need not be sorted; it must be non-empty. *)
+
+val p_value : n:int -> float -> float
+(** Asymptotic two-sided p-value for a KS statistic from [n] samples
+    (Kolmogorov distribution, Marsaglia-Tsang-Wang series form;
+    accurate for n >= 35 or so). *)
+
+val test : ?alpha:float -> cdf:(float -> float) -> float array -> bool
+(** [test ~alpha ~cdf xs] is [true] when the sample is {e consistent}
+    with the distribution (p-value >= alpha, default 0.01). *)

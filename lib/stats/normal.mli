@@ -1,0 +1,11 @@
+(** Standard normal distribution helpers (density, CDF, quantile). *)
+
+val pdf : float -> float
+(** Standard normal density. *)
+
+val cdf : float -> float
+(** Standard normal cumulative distribution function. *)
+
+val quantile : float -> float
+(** Inverse CDF (Acklam's rational approximation, relative error below
+    1.2e-9). Raises [Invalid_argument] outside (0, 1). *)

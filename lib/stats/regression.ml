@@ -1,0 +1,30 @@
+type fit = { slope : float; intercept : float; r_squared : float }
+
+let linear pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Regression.linear: need at least two points";
+  let xs = Array.map fst pts and ys = Array.map snd pts in
+  let mx = Descriptive.mean xs and my = Descriptive.mean ys in
+  let sxy = Kahan.create () and sxx = Kahan.create () and syy = Kahan.create () in
+  Array.iter
+    (fun (x, y) ->
+      Kahan.add sxy ((x -. mx) *. (y -. my));
+      Kahan.add sxx ((x -. mx) *. (x -. mx));
+      Kahan.add syy ((y -. my) *. (y -. my)))
+    pts;
+  let sxx_v = Kahan.sum sxx in
+  if sxx_v = 0.0 then invalid_arg "Regression.linear: x values are all equal";
+  let slope = Kahan.sum sxy /. sxx_v in
+  let intercept = my -. (slope *. mx) in
+  let syy_v = Kahan.sum syy in
+  let r_squared =
+    if syy_v = 0.0 then 1.0 else Kahan.sum sxy *. Kahan.sum sxy /. (sxx_v *. syy_v)
+  in
+  { slope; intercept; r_squared }
+
+let log_log pts =
+  let safe (x, y) =
+    if x <= 0.0 || y <= 0.0 then invalid_arg "Regression.log_log: coordinates must be positive";
+    (log x, log y)
+  in
+  linear (Array.map safe pts)

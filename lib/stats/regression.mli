@@ -1,0 +1,16 @@
+(** Ordinary least squares on one predictor; used to fit the empirical
+    complexity of the chain DP (log-log slope, experiment E4). *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** Coefficient of determination. *)
+}
+
+val linear : (float * float) array -> fit
+(** [linear pts] fits [y = slope * x + intercept]. Requires at least two
+    points with distinct x values. *)
+
+val log_log : (float * float) array -> fit
+(** [log_log pts] fits [log y = slope * log x + intercept]; the slope is
+    the empirical polynomial degree. All coordinates must be positive. *)

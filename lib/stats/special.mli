@@ -1,0 +1,20 @@
+(** Numeric special functions needed by the probability laws:
+    log-gamma, regularized incomplete gamma, and the error function. *)
+
+val ln_gamma : float -> float
+(** [ln_gamma x] is ln Γ(x) for x > 0 (Lanczos approximation,
+    relative error below 2e-10). *)
+
+val gamma_p : float -> float -> float
+(** [gamma_p a x] is the regularized lower incomplete gamma P(a, x),
+    for a > 0, x >= 0. Series expansion for x < a+1, continued fraction
+    otherwise. *)
+
+val gamma_q : float -> float -> float
+(** [gamma_q a x = 1 - gamma_p a x]. *)
+
+val erf : float -> float
+(** Error function, computed from the incomplete gamma. *)
+
+val erfc : float -> float
+(** Complementary error function. *)

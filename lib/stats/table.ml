@@ -1,0 +1,67 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let headers = List.map fst t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Rule -> acc
+            | Cells cells -> Stdlib.max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else match align with Left -> s ^ String.make n ' ' | Right -> String.make n ' ' ^ s
+  in
+  let fmt_row cells =
+    let parts =
+      List.map2 (fun ((_, align), width) cell -> pad align width cell)
+        (List.combine t.columns widths) cells
+    in
+    "| " ^ String.concat " | " parts ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "=== %s ===\n" t.title);
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (fmt_row headers ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter
+    (fun row ->
+      match row with
+      | Rule -> Buffer.add_string buf (rule ^ "\n")
+      | Cells cells -> Buffer.add_string buf (fmt_row cells ^ "\n"))
+    rows;
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f x = Printf.sprintf "%.6g" x
+let cell_e x = Printf.sprintf "%.3e" x
+let cell_pct x = Printf.sprintf "%.2f%%" (100.0 *. x)

@@ -1,0 +1,31 @@
+(** Plain-text table rendering shared by the experiment harness, the
+    benches, and the CLI tools, so every "table" in EXPERIMENTS.md is
+    produced by the same code path. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** Column headers with alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have exactly as many cells as columns. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator. *)
+
+val render : t -> string
+(** The formatted table, including title and column rules. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_f : float -> string
+(** Format a float compactly (6 significant digits). *)
+
+val cell_e : float -> string
+(** Format a float in scientific notation (3 significant digits). *)
+
+val cell_pct : float -> string
+(** Format a ratio as a percentage with two decimals. *)

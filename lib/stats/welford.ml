@@ -1,0 +1,53 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+
+let mean t =
+  if t.n = 0 then invalid_arg "Welford.mean: empty accumulator";
+  t.mean
+
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+
+let std_error t =
+  if t.n = 0 then invalid_arg "Welford.std_error: empty accumulator";
+  stddev t /. sqrt (float_of_int t.n)
+
+let min t = t.min_v
+let max t = t.max_v
+
+let confidence_interval t ~level =
+  if level <= 0.0 || level >= 1.0 then invalid_arg "confidence_interval: level must lie in (0,1)";
+  let z = Normal.quantile (1.0 -. ((1.0 -. level) /. 2.0)) in
+  let half = z *. std_error t in
+  (mean t -. half, mean t +. half)
+
+let merge x y =
+  if x.n = 0 then { n = y.n; mean = y.mean; m2 = y.m2; min_v = y.min_v; max_v = y.max_v }
+  else if y.n = 0 then x
+  else begin
+    let n = x.n + y.n in
+    let delta = y.mean -. x.mean in
+    let nf = float_of_int n in
+    let mean = x.mean +. (delta *. float_of_int y.n /. nf) in
+    let m2 =
+      x.m2 +. y.m2 +. (delta *. delta *. float_of_int x.n *. float_of_int y.n /. nf)
+    in
+    { n; mean; m2; min_v = Float.min x.min_v y.min_v; max_v = Float.max x.max_v y.max_v }
+  end

@@ -1,0 +1,36 @@
+(** Streaming mean / variance (Welford's online algorithm), plus
+    normal-approximation confidence intervals for the mean. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+(** Number of observations so far. *)
+
+val mean : t -> float
+(** Sample mean. Raises [Invalid_argument] if no observation. *)
+
+val variance : t -> float
+(** Unbiased sample variance (0 for fewer than two observations). *)
+
+val stddev : t -> float
+(** Square root of {!variance}. *)
+
+val std_error : t -> float
+(** Standard error of the mean, [stddev / sqrt count]. *)
+
+val min : t -> float
+val max : t -> float
+
+val confidence_interval : t -> level:float -> float * float
+(** [confidence_interval t ~level] is the normal-approximation interval
+    for the mean at confidence [level] (e.g. 0.99). Valid for the large
+    sample counts used by the Monte-Carlo experiments. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (Chan's parallel update). *)

@@ -1,0 +1,148 @@
+(* Tests for the Young/Daly/Bouguerra comparators and the divisible-load
+   optimum. *)
+
+module Expected_time = Ckpt_core.Expected_time
+module Approximations = Ckpt_core.Approximations
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let test_young_period () =
+  close "sqrt(2 C mu)" (sqrt (2.0 *. 5.0 *. 1000.0))
+    (Approximations.young_period ~checkpoint:5.0 ~mtbf:1000.0)
+
+let test_daly_period () =
+  let c = 5.0 and mu = 1000.0 in
+  let ratio = c /. (2.0 *. mu) in
+  let reference =
+    (sqrt (2.0 *. c *. mu) *. (1.0 +. (sqrt ratio /. 3.0) +. (ratio /. 9.0))) -. c
+  in
+  close "Daly higher-order period" reference
+    (Approximations.daly_period ~checkpoint:c ~mtbf:mu);
+  close "degenerate regime C >= 2 mu" 1.0
+    (Approximations.daly_period ~checkpoint:5.0 ~mtbf:1.0);
+  Alcotest.(check bool) "Daly slightly below Young for small C/mu" true
+    (Approximations.daly_period ~checkpoint:c ~mtbf:mu
+     < Approximations.young_period ~checkpoint:c ~mtbf:mu)
+
+let params l =
+  Expected_time.make ~downtime:0.5 ~recovery:2.0 ~work:10.0 ~checkpoint:1.0 ~lambda:l ()
+
+let test_expansion_ordering () =
+  (* Truncations of a positive-term series: first <= second <= exact. *)
+  List.iter
+    (fun l ->
+      let p = params l in
+      let e1 = Approximations.first_order p in
+      let e2 = Approximations.second_order p in
+      let exact = Expected_time.expected p in
+      Alcotest.(check bool) (Printf.sprintf "ordering at lambda=%g" l) true
+        (e1 <= e2 +. 1e-12 && e2 <= exact +. 1e-12))
+    [ 1e-4; 1e-3; 1e-2; 0.05; 0.2 ]
+
+let test_expansion_accuracy_improves () =
+  let p = params 0.01 in
+  let exact = Expected_time.expected p in
+  let err1 = Float.abs (Approximations.first_order p -. exact) in
+  let err2 = Float.abs (Approximations.second_order p -. exact) in
+  Alcotest.(check bool) "second order strictly better" true (err2 < err1)
+
+let test_first_order_is_the_taylor_limit () =
+  (* (E_exact - E_1) = O(lambda^2): decreasing lambda by 10 divides the
+     residual by ~100. *)
+  let residual l =
+    let p = params l in
+    Float.abs (Expected_time.expected p -. Approximations.first_order p)
+  in
+  let r1 = residual 1e-3 and r2 = residual 1e-4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "quadratic residual decay (%g vs %g)" r1 r2)
+    true
+    (r1 /. r2 > 50.0 && r1 /. r2 < 200.0)
+
+let test_bouguerra_bias () =
+  (* Exceeds the exact value by exactly (1/lambda + D)(e^(lambda R) − 1). *)
+  let p = params 0.05 in
+  let gap = Approximations.bouguerra p -. Expected_time.expected p in
+  let reference = ((1.0 /. 0.05) +. 0.5) *. Float.expm1 (0.05 *. 2.0) in
+  close "Bouguerra bias" reference gap;
+  (* Coincides with the exact formula when R = 0. *)
+  let p0 = Expected_time.make ~downtime:0.5 ~recovery:0.0 ~work:10.0 ~checkpoint:1.0
+      ~lambda:0.05 ()
+  in
+  close "R = 0: Bouguerra exact" (Expected_time.expected p0) (Approximations.bouguerra p0)
+
+let test_expected_divisible () =
+  (* m chunks of W/m: matches a manual sum. *)
+  let manual =
+    3.0 *. Expected_time.expected_v ~work:10.0 ~checkpoint:1.0 ~downtime:0.0 ~recovery:1.0
+      ~lambda:0.02
+  in
+  close "3 equal chunks" manual
+    (Approximations.expected_divisible ~total_work:30.0 ~chunks:3 ~checkpoint:1.0
+       ~downtime:0.0 ~recovery:1.0 ~lambda:0.02)
+
+let test_optimal_divisible_is_argmin () =
+  List.iter
+    (fun (total_work, checkpoint, lambda) ->
+      let opt =
+        Approximations.optimal_divisible ~total_work ~checkpoint ~downtime:0.3
+          ~recovery:checkpoint ~lambda
+      in
+      let eval m =
+        Approximations.expected_divisible ~total_work ~chunks:m ~checkpoint ~downtime:0.3
+          ~recovery:checkpoint ~lambda
+      in
+      for m = 1 to 4 * opt.Approximations.chunks do
+        Alcotest.(check bool)
+          (Printf.sprintf "m*=%d beats m=%d (W=%g C=%g l=%g)" opt.Approximations.chunks m
+             total_work checkpoint lambda)
+          true
+          (opt.Approximations.expected_total <= eval m +. 1e-9)
+      done)
+    [ (100.0, 1.0, 0.05); (1000.0, 5.0, 0.002); (50.0, 0.2, 0.3); (10.0, 2.0, 0.01) ]
+
+let test_optimal_divisible_scaling () =
+  (* More failures => more checkpoints; costlier checkpoints => fewer. *)
+  let chunks ~lambda ~checkpoint =
+    (Approximations.optimal_divisible ~total_work:1000.0 ~checkpoint ~downtime:0.0
+       ~recovery:checkpoint ~lambda)
+      .Approximations.chunks
+  in
+  Alcotest.(check bool) "chunks grow with lambda" true
+    (chunks ~lambda:0.05 ~checkpoint:1.0 > chunks ~lambda:0.005 ~checkpoint:1.0);
+  Alcotest.(check bool) "chunks shrink with checkpoint cost" true
+    (chunks ~lambda:0.01 ~checkpoint:10.0 < chunks ~lambda:0.01 ~checkpoint:0.1)
+
+let qcheck_bouguerra_pessimistic =
+  QCheck.Test.make ~name:"Bouguerra formula over-estimates the exact expectation"
+    ~count:500
+    QCheck.(
+      pair
+        (quad (float_range 0.1 50.0) (float_range 0.0 5.0) (float_range 0.0 5.0)
+           (float_range 0.0001 5.0))
+        (float_range 1e-5 1.0))
+    (fun ((w, c, d, r), l) ->
+      let p = Expected_time.make ~downtime:d ~recovery:r ~work:w ~checkpoint:c ~lambda:l () in
+      (* Relative tolerance: both sides can reach e^38, where doubles
+         carry absolute errors far above the analytic gap. *)
+      Approximations.bouguerra p >= Expected_time.expected p *. (1.0 -. 1e-12))
+
+let suite =
+  [
+    Alcotest.test_case "Young period" `Quick test_young_period;
+    Alcotest.test_case "Daly period" `Quick test_daly_period;
+    Alcotest.test_case "expansion ordering" `Quick test_expansion_ordering;
+    Alcotest.test_case "second order beats first" `Quick test_expansion_accuracy_improves;
+    Alcotest.test_case "first order residual is quadratic" `Quick
+      test_first_order_is_the_taylor_limit;
+    Alcotest.test_case "Bouguerra bias" `Quick test_bouguerra_bias;
+    Alcotest.test_case "expected_divisible" `Quick test_expected_divisible;
+    Alcotest.test_case "optimal divisible is the argmin" `Quick
+      test_optimal_divisible_is_argmin;
+    Alcotest.test_case "optimal divisible scaling laws" `Quick test_optimal_divisible_scaling;
+    QCheck_alcotest.to_alcotest qcheck_bouguerra_pessimistic;
+  ]

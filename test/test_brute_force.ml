@@ -1,0 +1,137 @@
+(* Tests for the exhaustive reference solvers. *)
+
+module Task = Ckpt_dag.Task
+module Chain_problem = Ckpt_core.Chain_problem
+module Schedule = Ckpt_core.Schedule
+module Chain_dp = Ckpt_core.Chain_dp
+module Brute_force = Ckpt_core.Brute_force
+module Independent = Ckpt_core.Independent
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let test_guards () =
+  let works = List.init 30 (fun _ -> 1.0) in
+  let p = Chain_problem.uniform ~lambda:0.1 ~checkpoint:1.0 ~recovery:1.0 works in
+  Alcotest.check_raises "chain guard"
+    (Invalid_argument "Brute_force.chain_best: instance size 30 exceeds the guard 22")
+    (fun () -> ignore (Brute_force.chain_best p));
+  Alcotest.check_raises "partition guard"
+    (Invalid_argument "Brute_force.partition_best: instance size 20 exceeds the guard 16")
+    (fun () ->
+      ignore
+        (Brute_force.partition_best ~lambda:0.1 ~checkpoint:1.0 ~recovery:1.0 ~downtime:0.0
+           (Array.make 20 1.0)))
+
+let test_chain_all_exhaustive () =
+  let p = Chain_problem.uniform ~lambda:0.1 ~checkpoint:0.5 ~recovery:0.5 [ 2.0; 3.0; 4.0 ] in
+  let all = Brute_force.chain_all p in
+  Alcotest.(check int) "2^(n-1) placements" 4 (List.length all);
+  (* Sorted by expectation. *)
+  let costs = List.map snd all in
+  Alcotest.(check bool) "sorted" true (costs = List.sort compare costs);
+  (* Best matches chain_best and DP. *)
+  let best = List.hd all in
+  close "best = chain_best" (Brute_force.chain_best p).Chain_dp.expected_makespan (snd best);
+  close "best = DP" (Chain_dp.solve p).Chain_dp.expected_makespan (snd best)
+
+let test_partition_best_two_tasks () =
+  (* Two identical tasks: compare one segment vs two by hand. *)
+  let lambda = 0.1 and downtime = 0.0 in
+  let cost ~w ~c ~r =
+    Ckpt_core.Expected_time.expected_v ~work:w ~checkpoint:c ~downtime ~recovery:r ~lambda
+  in
+  let check ~checkpoint =
+    let one = cost ~w:10.0 ~c:checkpoint ~r:checkpoint in
+    let two = 2.0 *. cost ~w:5.0 ~c:checkpoint ~r:checkpoint in
+    let best =
+      Brute_force.partition_best ~lambda ~checkpoint ~recovery:checkpoint ~downtime
+        [| 5.0; 5.0 |]
+    in
+    close
+      (Printf.sprintf "manual minimum at C=%g" checkpoint)
+      (Float.min one two) best
+  in
+  check ~checkpoint:10.0;
+  (* expensive checkpoint: single segment wins *)
+  check ~checkpoint:0.01 (* cheap checkpoint: split wins *)
+
+let test_partition_matches_exhaustive_orderings () =
+  (* For uniform costs the partition DP must agree with the full
+     ordering x placement enumeration. *)
+  let works = [ 3.0; 1.0; 4.0; 1.5; 5.0 ] in
+  let lambda = 0.12 and checkpoint = 0.8 in
+  let tasks =
+    List.mapi
+      (fun i w -> Task.make ~id:i ~work:w ~checkpoint_cost:checkpoint ~recovery_cost:checkpoint ())
+      works
+  in
+  let exhaustive, _ =
+    Brute_force.independent_exhaustive ~initial_recovery:checkpoint ~lambda tasks
+  in
+  let partition =
+    Brute_force.partition_best ~lambda ~checkpoint ~recovery:checkpoint ~downtime:0.0
+      (Array.of_list works)
+  in
+  close "partition DP = ordering enumeration" exhaustive partition
+
+let test_independent_exhaustive_beats_heuristics () =
+  let tasks =
+    List.mapi
+      (fun i (w, c) -> Task.make ~id:i ~work:w ~checkpoint_cost:c ~recovery_cost:c ())
+      [ (3.0, 0.2); (1.0, 1.5); (4.0, 0.6); (2.0, 0.1); (5.0, 0.9) ]
+  in
+  let lambda = 0.15 in
+  let exact, _ = Brute_force.independent_exhaustive ~lambda tasks in
+  let problem = Independent.make ~lambda tasks in
+  List.iter
+    (fun ordering ->
+      let sol = Independent.solve_ordered problem ordering in
+      Alcotest.(check bool) "exact <= ordered heuristic" true
+        (exact <= sol.Chain_dp.expected_makespan +. 1e-9))
+    [ Independent.As_given; Independent.Shortest_first; Independent.Longest_first;
+      Independent.Random 1 ];
+  let lpt = Independent.lpt_grouping problem ~groups:2 in
+  Alcotest.(check bool) "exact <= LPT" true (exact <= lpt.Chain_dp.expected_makespan +. 1e-9)
+
+let qcheck_partition_below_any_balanced_split =
+  QCheck.Test.make ~name:"partition optimum below equal-m segment heuristics" ~count:50
+    QCheck.(pair (list_of_size (Gen.int_range 2 8) (float_range 1.0 8.0))
+              (float_range 0.02 0.3))
+    (fun (works, lambda) ->
+      let checkpoint = 0.5 in
+      let best =
+        Brute_force.partition_best ~lambda ~checkpoint ~recovery:checkpoint ~downtime:0.0
+          (Array.of_list works)
+      in
+      (* Compare against putting each task in its own segment and
+         against one big segment. *)
+      let singleton =
+        Ckpt_stats.Kahan.sum_list
+          (List.map
+             (fun w ->
+               Ckpt_core.Expected_time.expected_v ~work:w ~checkpoint ~downtime:0.0
+                 ~recovery:checkpoint ~lambda)
+             works)
+      in
+      let merged =
+        Ckpt_core.Expected_time.expected_v
+          ~work:(List.fold_left ( +. ) 0.0 works)
+          ~checkpoint ~downtime:0.0 ~recovery:checkpoint ~lambda
+      in
+      best <= singleton +. 1e-9 && best <= merged +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "size guards" `Quick test_guards;
+    Alcotest.test_case "chain_all enumeration" `Quick test_chain_all_exhaustive;
+    Alcotest.test_case "partition of two tasks" `Quick test_partition_best_two_tasks;
+    Alcotest.test_case "partition DP = ordering enumeration" `Slow
+      test_partition_matches_exhaustive_orderings;
+    Alcotest.test_case "exhaustive beats heuristics" `Slow
+      test_independent_exhaustive_beats_heuristics;
+    QCheck_alcotest.to_alcotest qcheck_partition_below_any_balanced_split;
+  ]

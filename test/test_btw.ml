@@ -1,0 +1,111 @@
+(* Tests for the Bouguerra-Trystram-Wagner saved-work objective. *)
+
+module Law = Ckpt_dist.Law
+module Chain_problem = Ckpt_core.Chain_problem
+module Schedule = Ckpt_core.Schedule
+module Btw = Ckpt_core.Btw
+module Rng = Ckpt_prng.Rng
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let int_problem works =
+  Chain_problem.uniform ~lambda:0.1 ~checkpoint:1.0 ~recovery:1.0
+    (List.map float_of_int works)
+
+let test_objective_value () =
+  (* Exponential law: objective = sum W_k e^(-lambda t_k), computable by
+     hand. Works [3;4], checkpoint 1, single checkpoint at the end:
+     saved = 7 * e^(-0.2 * 8). *)
+  let problem = int_problem [ 3; 4 ] in
+  let law = Law.exponential ~rate:0.2 in
+  let none = Schedule.checkpoint_none problem in
+  close "single segment" (7.0 *. exp (-0.2 *. 8.0)) (Btw.expected_saved_work ~law none);
+  (* Checkpoint after both: 3 e^(-0.2*4) + 4 e^(-0.2*9). *)
+  let all = Schedule.checkpoint_all problem in
+  close "two segments"
+    ((3.0 *. exp (-0.2 *. 4.0)) +. (4.0 *. exp (-0.2 *. 9.0)))
+    (Btw.expected_saved_work ~law all)
+
+let test_deterministic_law_objective () =
+  (* Failure exactly at t = 9: only segments checkpointed strictly
+     before 9 are saved. Works [3;4], C=1: checkpoint-all finishes
+     segment 1 at 4 (< 9, saved) and segment 2 at 9 (not < 9 since
+     survival(9) = 0). *)
+  let problem = int_problem [ 3; 4 ] in
+  let law = Law.deterministic 9.0 in
+  close "only the early segment survives" 3.0
+    (Btw.expected_saved_work ~law (Schedule.checkpoint_all problem))
+
+let test_exhaustive_vs_pseudo_polynomial () =
+  let law = Law.weibull ~shape:0.8 ~scale:15.0 in
+  List.iter
+    (fun works ->
+      let problem = int_problem works in
+      let _, exhaustive = Btw.exhaustive_best ~law problem in
+      let _, pseudo = Btw.pseudo_polynomial_best ~law problem in
+      close
+        (Printf.sprintf "agreement on %d tasks" (List.length works))
+        exhaustive pseudo)
+    [ [ 5 ]; [ 3; 4 ]; [ 2; 7; 1; 5 ]; [ 1; 2; 3; 4; 5; 6 ]; [ 9; 9; 9; 9 ] ]
+
+let test_pseudo_polynomial_requires_integers () =
+  let problem =
+    Chain_problem.uniform ~lambda:0.1 ~checkpoint:0.5 ~recovery:0.5 [ 1.5; 2.0 ]
+  in
+  match Btw.pseudo_polynomial_best ~law:(Law.exponential ~rate:0.1) problem with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of non-integer durations"
+
+let test_greedy_feasible_and_bounded () =
+  let law = Law.log_normal_of_mean ~sigma:1.0 ~mean:30.0 in
+  let problem = int_problem [ 4; 6; 2; 8; 3; 5; 7 ] in
+  let _, exact = Btw.exhaustive_best ~law problem in
+  let _, greedy_value = Btw.greedy ~law problem in
+  Alcotest.(check bool) "greedy below exact" true (greedy_value <= exact +. 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy %.4f within 20%% of exact %.4f" greedy_value exact)
+    true
+    (greedy_value >= 0.8 *. exact)
+
+let qcheck_exhaustive_matches_pseudo =
+  QCheck.Test.make ~name:"BTW pseudo-polynomial DP equals exhaustive optimum" ~count:40
+    QCheck.(pair (list_of_size (Gen.int_range 1 7) (int_range 1 9)) (int_range 0 2))
+    (fun (works, law_idx) ->
+      let law =
+        match law_idx with
+        | 0 -> Law.exponential ~rate:0.07
+        | 1 -> Law.uniform ~lo:0.0 ~hi:60.0
+        | _ -> Law.weibull ~shape:0.6 ~scale:25.0
+      in
+      let problem = int_problem works in
+      let _, a = Btw.exhaustive_best ~law problem in
+      let _, b = Btw.pseudo_polynomial_best ~law problem in
+      Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 a)
+
+let qcheck_saved_work_bounded_by_total =
+  QCheck.Test.make ~name:"saved work never exceeds total work" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 1 10) (int_range 1 9)) (int_range 0 255))
+    (fun (works, mask) ->
+      let problem = int_problem works in
+      let n = List.length works in
+      let placement = Array.init n (fun i -> i = n - 1 || mask land (1 lsl i) <> 0) in
+      let schedule = Schedule.make problem placement in
+      let law = Law.weibull ~shape:0.7 ~scale:20.0 in
+      let saved = Btw.expected_saved_work ~law schedule in
+      saved >= 0.0 && saved <= Chain_problem.total_work problem +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "objective value" `Quick test_objective_value;
+    Alcotest.test_case "deterministic-law objective" `Quick test_deterministic_law_objective;
+    Alcotest.test_case "exhaustive = pseudo-polynomial" `Quick
+      test_exhaustive_vs_pseudo_polynomial;
+    Alcotest.test_case "integer validation" `Quick test_pseudo_polynomial_requires_integers;
+    Alcotest.test_case "greedy quality" `Quick test_greedy_feasible_and_bounded;
+    QCheck_alcotest.to_alcotest qcheck_exhaustive_matches_pseudo;
+    QCheck_alcotest.to_alcotest qcheck_saved_work_bounded_by_total;
+  ]

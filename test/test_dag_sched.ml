@@ -1,0 +1,208 @@
+(* Tests for general-DAG scheduling (linearization + placement) and the
+   Section 6 live-set cost model. *)
+
+module Task = Ckpt_dag.Task
+module Dag = Ckpt_dag.Dag
+module Generate = Ckpt_dag.Generate
+module Rng = Ckpt_prng.Rng
+module Dag_sched = Ckpt_core.Dag_sched
+module Chain_problem = Ckpt_core.Chain_problem
+module Brute_force = Ckpt_core.Brute_force
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let mk ?(work = 1.0) ?(c = 0.5) ?(r = 0.5) id =
+  Task.make ~id ~work ~checkpoint_cost:c ~recovery_cost:r ()
+
+let diamond () = Dag.create [ mk 0; mk 1; mk 2; mk 3 ] [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_live_set_on_chain_is_singleton () =
+  (* The paper's remark: on a linear chain exactly one task needs
+     saving at any point. *)
+  let chain = Dag.of_chain [ mk 0; mk 1; mk 2; mk 3 ] in
+  let order = [ 0; 1; 2; 3 ] in
+  for position = 0 to 3 do
+    match Dag_sched.live_set chain order ~position with
+    | [ task ] ->
+        Alcotest.(check int)
+          (Printf.sprintf "live set at %d is the last executed task" position)
+          position task.Task.id
+    | live ->
+        Alcotest.fail
+          (Printf.sprintf "expected singleton at %d, got %d" position (List.length live))
+  done
+
+let test_live_set_on_diamond () =
+  let d = diamond () in
+  let order = [ 0; 1; 2; 3 ] in
+  let ids position =
+    List.map (fun (t : Task.t) -> t.Task.id) (Dag_sched.live_set d order ~position)
+  in
+  Alcotest.(check (list int)) "after fork" [ 0 ] (ids 0);
+  Alcotest.(check (list int)) "after fork+left" [ 0; 1 ] (ids 1);
+  (* Fork's two successors executed: only the branches stay live. *)
+  Alcotest.(check (list int)) "after both branches" [ 1; 2 ] (ids 2);
+  (* Everything executed: the sink output is the result. *)
+  Alcotest.(check (list int)) "at completion" [ 3 ] (ids 3)
+
+let test_chain_of_linearization_task_costs () =
+  let d = diamond () in
+  let problem = Dag_sched.chain_of_linearization ~lambda:0.1 d [ 0; 2; 1; 3 ] in
+  Alcotest.(check int) "size" 4 (Chain_problem.size problem);
+  (* Position 1 carries task 2's data. *)
+  close "work carried over" 1.0 problem.Chain_problem.tasks.(1).Task.work;
+  close "checkpoint cost carried over" 0.5
+    problem.Chain_problem.tasks.(1).Task.checkpoint_cost;
+  Alcotest.check_raises "invalid order rejected"
+    (Invalid_argument "Dag_sched: not a linearization of the DAG") (fun () ->
+      ignore (Dag_sched.chain_of_linearization ~lambda:0.1 d [ 1; 0; 2; 3 ]))
+
+let live_sum_model =
+  Dag_sched.Live_set
+    {
+      checkpoint = (fun live -> Ckpt_stats.Kahan.sum_list (List.map (fun (t : Task.t) -> t.Task.checkpoint_cost) live));
+      recovery = (fun live -> Ckpt_stats.Kahan.sum_list (List.map (fun (t : Task.t) -> t.Task.recovery_cost) live));
+    }
+
+let test_live_set_model_on_chain_equals_task_costs () =
+  (* On a chain the live set is a singleton, so summing over it equals
+     the Section 2 per-task model: the two cost models must coincide. *)
+  let rng = Rng.create ~seed:5L in
+  let spec = Generate.uniform_costs () in
+  let dag = Generate.chain rng spec ~n:8 in
+  let order = Dag.topological_order dag in
+  let a = Dag_sched.solve_order ~lambda:0.07 dag order in
+  let b = Dag_sched.solve_order ~cost_model:live_sum_model ~lambda:0.07 dag order in
+  close "cost models coincide on chains" a.Dag_sched.expected_makespan
+    b.Dag_sched.expected_makespan
+
+let test_live_set_model_penalises_wide_frontiers () =
+  (* On a diamond, checkpointing between the two branches must save both
+     the fork output and the first branch: costlier than under the
+     per-task model. *)
+  let d = diamond () in
+  let order = [ 0; 1; 2; 3 ] in
+  let task_model = Dag_sched.chain_of_linearization ~lambda:0.1 d order in
+  let live_model =
+    Dag_sched.chain_of_linearization ~cost_model:live_sum_model ~lambda:0.1 d order
+  in
+  Alcotest.(check bool) "live-set checkpoint after position 1 is costlier" true
+    (live_model.Chain_problem.tasks.(1).Task.checkpoint_cost
+     > task_model.Chain_problem.tasks.(1).Task.checkpoint_cost)
+
+let test_exact_small_beats_heuristics () =
+  let rng = Rng.create ~seed:11L in
+  let spec = Generate.uniform_costs () in
+  for trial = 1 to 5 do
+    let dag = Generate.random_dag (Rng.substream rng (string_of_int trial)) spec ~n:6 ~edge_prob:0.3 in
+    let exact = Dag_sched.exact_small ~lambda:0.08 dag in
+    let heuristic = Dag_sched.solve_heuristic ~lambda:0.08 dag in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: exact <= heuristic" trial)
+      true
+      (exact.Dag_sched.expected_makespan
+       <= heuristic.Dag_sched.expected_makespan +. 1e-9)
+  done
+
+let test_exact_small_matches_independent_exhaustive () =
+  (* On an edge-less DAG both solvers explore orderings x placements. *)
+  let tasks =
+    List.mapi
+      (fun i (w, c) -> Task.make ~id:i ~work:w ~checkpoint_cost:c ~recovery_cost:c ())
+      [ (3.0, 0.2); (1.0, 1.0); (4.0, 0.5); (2.0, 0.3) ]
+  in
+  let dag = Dag.of_independent tasks in
+  let exact = Dag_sched.exact_small ~lambda:0.12 dag in
+  let reference, _ = Brute_force.independent_exhaustive ~lambda:0.12 tasks in
+  close "agrees with independent exhaustive" reference exact.Dag_sched.expected_makespan
+
+let test_linearize_strategies_valid () =
+  let rng = Rng.create ~seed:13L in
+  let spec = Generate.uniform_costs () in
+  let dag = Generate.layered rng spec ~layers:4 ~width:3 ~edge_prob:0.4 in
+  List.iter
+    (fun strategy ->
+      let order = Dag_sched.linearize strategy dag in
+      Alcotest.(check bool) "valid linearization" true (Dag.is_linearization dag order))
+    [ Dag_sched.Deterministic; Dag_sched.Heaviest_first; Dag_sched.Lightest_first;
+      Dag_sched.Critical_path ]
+
+let test_critical_path_priority () =
+  (* Two independent branches; critical-path order runs the heavy branch
+     first. *)
+  let tasks = [ mk ~work:1.0 0; mk ~work:10.0 1; mk ~work:1.0 2 ] in
+  let dag = Dag.create tasks [ (1, 2) ] in
+  match Dag_sched.linearize Dag_sched.Critical_path dag with
+  | 1 :: _ -> ()
+  | order ->
+      Alcotest.fail
+        ("heavy chain should start: "
+        ^ String.concat "," (List.map string_of_int order))
+
+let test_local_search_improves_or_matches () =
+  let rng = Rng.create ~seed:2025L in
+  let spec = Generate.uniform_costs () in
+  for trial = 1 to 5 do
+    let dag =
+      Generate.random_dag (Rng.substream rng (Printf.sprintf "ls-%d" trial)) spec ~n:8
+        ~edge_prob:0.25
+    in
+    let heuristic = Dag_sched.solve_heuristic ~lambda:0.08 dag in
+    let searched =
+      Dag_sched.local_search ~iterations:300
+        ~rng:(Rng.substream rng (Printf.sprintf "ls-rng-%d" trial))
+        ~lambda:0.08 dag
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: search <= heuristic" trial)
+      true
+      (searched.Dag_sched.expected_makespan
+       <= heuristic.Dag_sched.expected_makespan +. 1e-9);
+    Alcotest.(check bool) "search order valid" true
+      (Dag.is_linearization dag searched.Dag_sched.order);
+    (* And it cannot beat the exhaustive optimum. *)
+    let exact = Dag_sched.exact_small ~lambda:0.08 dag in
+    Alcotest.(check bool) "search >= exact" true
+      (searched.Dag_sched.expected_makespan
+       >= exact.Dag_sched.expected_makespan -. 1e-9)
+  done
+
+let qcheck_exact_small_optimal_on_chains =
+  (* On a chain there is a single linearization, so exact_small must
+     equal the chain DP. *)
+  QCheck.Test.make ~name:"exact_small = chain DP on chains" ~count:30
+    QCheck.(pair (int_range 1 8) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed:(Int64.of_int (seed + 31)) in
+      let spec = Generate.uniform_costs () in
+      let dag = Generate.chain rng spec ~n in
+      let exact = Dag_sched.exact_small ~lambda:0.06 dag in
+      let chain = Chain_problem.of_dag ~lambda:0.06 dag in
+      let dp = Ckpt_core.Chain_dp.solve chain in
+      Float.abs (exact.Dag_sched.expected_makespan -. dp.Ckpt_core.Chain_dp.expected_makespan)
+      <= 1e-9 *. dp.Ckpt_core.Chain_dp.expected_makespan)
+
+let suite =
+  [
+    Alcotest.test_case "live set on chains is a singleton" `Quick
+      test_live_set_on_chain_is_singleton;
+    Alcotest.test_case "live set on a diamond" `Quick test_live_set_on_diamond;
+    Alcotest.test_case "chain of linearization (task costs)" `Quick
+      test_chain_of_linearization_task_costs;
+    Alcotest.test_case "live-set model = task model on chains" `Quick
+      test_live_set_model_on_chain_equals_task_costs;
+    Alcotest.test_case "live-set model penalises wide frontiers" `Quick
+      test_live_set_model_penalises_wide_frontiers;
+    Alcotest.test_case "exact beats heuristics" `Slow test_exact_small_beats_heuristics;
+    Alcotest.test_case "exact matches independent exhaustive" `Slow
+      test_exact_small_matches_independent_exhaustive;
+    Alcotest.test_case "strategies produce linearizations" `Quick
+      test_linearize_strategies_valid;
+    Alcotest.test_case "critical-path priority" `Quick test_critical_path_priority;
+    Alcotest.test_case "local search" `Slow test_local_search_improves_or_matches;
+    QCheck_alcotest.to_alcotest qcheck_exact_small_optimal_on_chains;
+  ]

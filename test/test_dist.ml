@@ -1,0 +1,288 @@
+(* Tests for the probability laws. *)
+
+module Law = Ckpt_dist.Law
+module Rng = Ckpt_prng.Rng
+module Welford = Ckpt_stats.Welford
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let all_laws =
+  [
+    ("exponential", Law.exponential ~rate:0.4);
+    ("weibull<1", Law.weibull ~shape:0.7 ~scale:3.0);
+    ("weibull>1", Law.weibull ~shape:2.5 ~scale:1.5);
+    ("lognormal", Law.log_normal ~mu:0.3 ~sigma:0.8);
+    ("uniform", Law.uniform ~lo:1.0 ~hi:4.0);
+    ("gamma<1", Law.gamma ~shape:0.6 ~scale:2.0);
+    ("gamma>1", Law.gamma ~shape:3.0 ~scale:0.7);
+  ]
+
+let test_validation () =
+  let invalid = [
+    Law.Exponential { rate = 0.0 };
+    Law.Weibull { shape = -1.0; scale = 1.0 };
+    Law.Weibull { shape = 1.0; scale = 0.0 };
+    Law.Log_normal { mu = 0.0; sigma = 0.0 };
+    Law.Uniform { lo = 3.0; hi = 2.0 };
+    Law.Uniform { lo = -1.0; hi = 2.0 };
+    Law.Gamma { shape = 0.0; scale = 1.0 };
+    Law.Deterministic 0.0;
+  ]
+  in
+  List.iter
+    (fun law ->
+      match Law.validate law with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "law %s should be invalid" (Law.to_string law)))
+    invalid;
+  match Law.validate (Law.Exponential { rate = 2.0 }) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_cdf_survival_complement () =
+  List.iter
+    (fun (name, law) ->
+      List.iter
+        (fun x ->
+          close ~tol:1e-9
+            (Printf.sprintf "%s: cdf + survival = 1 at %g" name x)
+            1.0
+            (Law.cdf law x +. Law.survival law x))
+        [ 0.1; 0.5; 1.0; 2.0; 5.0; 10.0 ])
+    all_laws
+
+let test_pdf_is_cdf_derivative () =
+  let h = 1e-6 in
+  List.iter
+    (fun (name, law) ->
+      List.iter
+        (fun x ->
+          let numeric = (Law.cdf law (x +. h) -. Law.cdf law (x -. h)) /. (2.0 *. h) in
+          close ~tol:1e-4
+            (Printf.sprintf "%s: pdf matches numeric dCDF at %g" name x)
+            numeric (Law.pdf law x))
+        [ 0.5; 1.3; 2.7 ])
+    all_laws
+
+let test_quantile_inverts_cdf () =
+  List.iter
+    (fun (name, law) ->
+      List.iter
+        (fun p ->
+          let x = Law.quantile law p in
+          close ~tol:1e-6 (Printf.sprintf "%s: cdf(quantile %g)" name p) p (Law.cdf law x))
+        [ 0.05; 0.25; 0.5; 0.75; 0.95; 0.999 ])
+    all_laws
+
+let sample_stats law n =
+  let rng = Rng.create ~seed:2024L in
+  let acc = Welford.create () in
+  for _ = 1 to n do
+    Welford.add acc (Law.sample law rng)
+  done;
+  acc
+
+let test_sampling_moments () =
+  List.iter
+    (fun (name, law) ->
+      let n = 200_000 in
+      let acc = sample_stats law n in
+      let tol_mean = 6.0 *. Welford.std_error acc in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: sample mean %.4f vs analytic %.4f" name (Welford.mean acc)
+           (Law.mean law))
+        true
+        (Float.abs (Welford.mean acc -. Law.mean law) < Float.max tol_mean 1e-3);
+      let rel_var =
+        Float.abs (Welford.variance acc -. Law.variance law)
+        /. Float.max 1e-9 (Law.variance law)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: sample variance within 5%%" name)
+        true (rel_var < 0.05))
+    all_laws
+
+let test_sampling_ks () =
+  (* Every sampler must pass a KS goodness-of-fit test against its own
+     analytic CDF. *)
+  let rng = Rng.create ~seed:11337L in
+  List.iter
+    (fun (name, law) ->
+      let xs = Array.init 20_000 (fun _ -> Law.sample law rng) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s passes Kolmogorov-Smirnov" name)
+        true
+        (Ckpt_stats.Ks_test.test ~alpha:0.001 ~cdf:(Law.cdf law) xs))
+    all_laws
+
+let test_samples_positive () =
+  let rng = Rng.create ~seed:5L in
+  List.iter
+    (fun (name, law) ->
+      for _ = 1 to 10_000 do
+        let x = Law.sample law rng in
+        Alcotest.(check bool) (Printf.sprintf "%s sample positive" name) true (x > 0.0)
+      done)
+    all_laws
+
+let test_deterministic () =
+  let law = Law.deterministic 3.5 in
+  let rng = Rng.create ~seed:1L in
+  close "sample" 3.5 (Law.sample law rng);
+  close "mean" 3.5 (Law.mean law);
+  close "variance" 0.0 (Law.variance law);
+  close "cdf below" 0.0 (Law.cdf law 3.0);
+  close "cdf above" 1.0 (Law.cdf law 4.0);
+  close "quantile" 3.5 (Law.quantile law 0.3);
+  close "conditional remaining" 1.5
+    (Law.conditional_remaining_sample law ~elapsed:2.0 rng)
+
+let test_exponential_memoryless () =
+  (* The conditional residual distribution equals the unconditional one:
+     compare empirical means for elapsed = 0 and elapsed = 7. *)
+  let law = Law.exponential ~rate:0.8 in
+  let rng = Rng.create ~seed:77L in
+  let acc0 = Welford.create () and acc7 = Welford.create () in
+  for _ = 1 to 100_000 do
+    Welford.add acc0 (Law.conditional_remaining_sample law ~elapsed:0.0 rng);
+    Welford.add acc7 (Law.conditional_remaining_sample law ~elapsed:7.0 rng)
+  done;
+  Alcotest.(check bool) "memoryless residual mean" true
+    (Float.abs (Welford.mean acc0 -. Welford.mean acc7) < 0.02)
+
+let test_weibull_residual_depends_on_age () =
+  (* Decreasing hazard (shape < 1): having survived for a while makes
+     the residual life longer in expectation. *)
+  let law = Law.weibull ~shape:0.5 ~scale:1.0 in
+  let rng = Rng.create ~seed:88L in
+  let young = Welford.create () and old = Welford.create () in
+  for _ = 1 to 50_000 do
+    Welford.add young (Law.conditional_remaining_sample law ~elapsed:0.01 rng);
+    Welford.add old (Law.conditional_remaining_sample law ~elapsed:5.0 rng)
+  done;
+  Alcotest.(check bool) "older processor has longer residual life" true
+    (Welford.mean old > 2.0 *. Welford.mean young)
+
+let test_conditional_residual_distribution () =
+  (* Empirical CDF of the residual matches the analytic conditional CDF. *)
+  let law = Law.weibull ~shape:2.0 ~scale:3.0 in
+  let elapsed = 2.0 in
+  let rng = Rng.create ~seed:99L in
+  let n = 100_000 in
+  let samples = Array.init n (fun _ -> Law.conditional_remaining_sample law ~elapsed rng) in
+  let analytic x =
+    (Law.cdf law (elapsed +. x) -. Law.cdf law elapsed) /. Law.survival law elapsed
+  in
+  List.iter
+    (fun x ->
+      let empirical =
+        float_of_int (Array.fold_left (fun acc s -> if s <= x then acc + 1 else acc) 0 samples)
+        /. float_of_int n
+      in
+      close ~tol:0.01 (Printf.sprintf "residual CDF at %g" x) (analytic x) empirical)
+    [ 0.5; 1.0; 2.0; 4.0 ]
+
+let test_hazard_shapes () =
+  let expo = Law.exponential ~rate:0.3 in
+  close ~tol:1e-9 "exponential hazard constant" (Law.hazard expo 1.0) (Law.hazard expo 9.0);
+  close ~tol:1e-9 "exponential hazard = rate" 0.3 (Law.hazard expo 2.0);
+  let weib = Law.weibull ~shape:0.5 ~scale:2.0 in
+  Alcotest.(check bool) "weibull shape<1 hazard decreasing" true
+    (Law.hazard weib 0.5 > Law.hazard weib 2.0 && Law.hazard weib 2.0 > Law.hazard weib 8.0);
+  let weib2 = Law.weibull ~shape:3.0 ~scale:2.0 in
+  Alcotest.(check bool) "weibull shape>1 hazard increasing" true
+    (Law.hazard weib2 0.5 < Law.hazard weib2 2.0)
+
+let test_of_mean_constructors () =
+  let w = Law.weibull_of_mean ~shape:0.7 ~mean:42.0 in
+  close ~tol:1e-9 "weibull_of_mean" 42.0 (Law.mean w);
+  let ln = Law.log_normal_of_mean ~sigma:1.2 ~mean:10.0 in
+  close ~tol:1e-9 "log_normal_of_mean" 10.0 (Law.mean ln)
+
+let test_mean_residual_life () =
+  (* Exponential: MRL is constant 1/rate (memorylessness). *)
+  let expo = Law.exponential ~rate:0.25 in
+  close ~tol:1e-9 "exponential MRL at 0" 4.0 (Law.mean_residual_life expo ~elapsed:0.0);
+  close ~tol:1e-9 "exponential MRL at 17" 4.0 (Law.mean_residual_life expo ~elapsed:17.0);
+  (* Deterministic: the remaining time, then 0. *)
+  let det = Law.deterministic 5.0 in
+  close "deterministic MRL" 3.0 (Law.mean_residual_life det ~elapsed:2.0);
+  close "deterministic MRL exhausted" 0.0 (Law.mean_residual_life det ~elapsed:6.0);
+  (* Uniform on [2, 6]: at t=3, X | X>3 uniform on (3,6), MRL = 1.5. *)
+  let unif = Law.uniform ~lo:2.0 ~hi:6.0 in
+  close ~tol:1e-9 "uniform MRL inside support" 1.5 (Law.mean_residual_life unif ~elapsed:3.0);
+  close ~tol:1e-9 "uniform MRL before support is the mean" 4.0
+    (Law.mean_residual_life unif ~elapsed:0.0);
+  (* At elapsed 0 the MRL is the mean, for every law. *)
+  List.iter
+    (fun (name, law) ->
+      close ~tol:1e-5 (Printf.sprintf "%s: MRL(0) = mean" name) (Law.mean law)
+        (Law.mean_residual_life law ~elapsed:0.0))
+    all_laws
+
+let test_mrl_monotonicity_with_hazard () =
+  (* Decreasing hazard => increasing MRL, and conversely. *)
+  let weib_low = Law.weibull ~shape:0.6 ~scale:5.0 in
+  Alcotest.(check bool) "shape<1: MRL grows with age" true
+    (Law.mean_residual_life weib_low ~elapsed:10.0
+     > Law.mean_residual_life weib_low ~elapsed:1.0);
+  let weib_high = Law.weibull ~shape:2.5 ~scale:5.0 in
+  Alcotest.(check bool) "shape>1: MRL shrinks with age" true
+    (Law.mean_residual_life weib_high ~elapsed:10.0
+     < Law.mean_residual_life weib_high ~elapsed:1.0)
+
+let test_mrl_against_sampling () =
+  (* Numeric integral vs the conditional sampler, for a heavy tail. *)
+  let law = Law.log_normal ~mu:0.5 ~sigma:1.2 in
+  let elapsed = 3.0 in
+  let rng = Rng.create ~seed:360L in
+  let acc = Welford.create () in
+  for _ = 1 to 200_000 do
+    Welford.add acc (Law.conditional_remaining_sample law ~elapsed rng)
+  done;
+  let numeric = Law.mean_residual_life law ~elapsed in
+  let rel = Float.abs (Welford.mean acc -. numeric) /. numeric in
+  Alcotest.(check bool)
+    (Printf.sprintf "MRL %.4f vs sampled %.4f" numeric (Welford.mean acc))
+    true (rel < 0.03)
+
+let qcheck_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in p" ~count:300
+    QCheck.(triple (int_range 0 6) (float_range 0.001 0.998) (float_range 0.000001 0.001))
+    (fun (law_idx, p, dp) ->
+      let _, law = List.nth all_laws law_idx in
+      Law.quantile law p <= Law.quantile law (p +. dp) +. 1e-12)
+
+let qcheck_cdf_monotone =
+  QCheck.Test.make ~name:"cdf is monotone" ~count:300
+    QCheck.(triple (int_range 0 6) (float_range 0.0 20.0) (float_range 0.0 5.0))
+    (fun (law_idx, x, dx) ->
+      let _, law = List.nth all_laws law_idx in
+      Law.cdf law x <= Law.cdf law (x +. dx) +. 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "parameter validation" `Quick test_validation;
+    Alcotest.test_case "cdf + survival = 1" `Quick test_cdf_survival_complement;
+    Alcotest.test_case "pdf is the cdf derivative" `Quick test_pdf_is_cdf_derivative;
+    Alcotest.test_case "quantile inverts cdf" `Quick test_quantile_inverts_cdf;
+    Alcotest.test_case "sampling moments" `Slow test_sampling_moments;
+    Alcotest.test_case "sampling KS goodness-of-fit" `Slow test_sampling_ks;
+    Alcotest.test_case "samples positive" `Quick test_samples_positive;
+    Alcotest.test_case "deterministic law" `Quick test_deterministic;
+    Alcotest.test_case "exponential memorylessness" `Slow test_exponential_memoryless;
+    Alcotest.test_case "weibull residual vs age" `Slow test_weibull_residual_depends_on_age;
+    Alcotest.test_case "conditional residual distribution" `Slow
+      test_conditional_residual_distribution;
+    Alcotest.test_case "hazard shapes" `Quick test_hazard_shapes;
+    Alcotest.test_case "of-mean constructors" `Quick test_of_mean_constructors;
+    Alcotest.test_case "mean residual life" `Quick test_mean_residual_life;
+    Alcotest.test_case "MRL vs hazard direction" `Quick test_mrl_monotonicity_with_hazard;
+    Alcotest.test_case "MRL vs conditional sampling" `Slow test_mrl_against_sampling;
+    QCheck_alcotest.to_alcotest qcheck_quantile_monotone;
+    QCheck_alcotest.to_alcotest qcheck_cdf_monotone;
+  ]

@@ -1,0 +1,249 @@
+(* Tests for Proposition 1 (the exact expected-time formula) and its
+   proof's intermediate quantities. *)
+
+module Expected_time = Ckpt_core.Expected_time
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let params ?(work = 10.0) ?(checkpoint = 1.0) ?(downtime = 0.5) ?(recovery = 2.0)
+    ?(lambda = 0.05) () =
+  Expected_time.make ~downtime ~recovery ~work ~checkpoint ~lambda ()
+
+let test_closed_form_value () =
+  (* Direct transliteration of Equation 6. *)
+  let p = params () in
+  let reference =
+    exp (0.05 *. 2.0) *. ((1.0 /. 0.05) +. 0.5) *. (exp (0.05 *. 11.0) -. 1.0)
+  in
+  close "Equation 6" reference (Expected_time.expected p)
+
+let test_validation () =
+  Alcotest.check_raises "lambda must be positive"
+    (Invalid_argument "Expected_time.make: lambda must be positive") (fun () ->
+      ignore (Expected_time.make ~work:1.0 ~checkpoint:0.0 ~lambda:0.0 ()));
+  Alcotest.check_raises "negative work"
+    (Invalid_argument "Expected_time.make: work must be non-negative") (fun () ->
+      ignore (Expected_time.make ~work:(-1.0) ~checkpoint:0.0 ~lambda:1.0 ()))
+
+let test_lambda_to_zero_limit () =
+  (* As λ → 0 the expectation tends to the failure-free time W + C. *)
+  let p = params ~lambda:1e-12 () in
+  close ~tol:1e-6 "lambda -> 0 limit" 11.0 (Expected_time.expected p);
+  close "failure-free time" 11.0 (Expected_time.failure_free_time p)
+
+let test_small_lambda_accuracy () =
+  (* The expm1 evaluation must not lose precision at HPC scales:
+     lambda = 1e-9, W = 3600. The leading correction term is
+     λ·(W+C)²/2 ≈ 6.5e-3 and must be resolved. *)
+  let p = params ~work:3600.0 ~checkpoint:5.0 ~downtime:60.0 ~recovery:5.0 ~lambda:1e-9 () in
+  let e = Expected_time.expected p in
+  let excess = e -. 3605.0 in
+  let leading = 1e-9 *. ((3605.0 *. 3605.0 /. 2.0) +. (3605.0 *. (60.0 +. 5.0))) in
+  close ~tol:1e-4 "tiny-lambda excess matches first-order term" leading excess
+
+let test_equation3_identity () =
+  (* Equation 3 of the proof:
+     E(T) = W + C + (e^(λ(W+C)) − 1)(E(T_lost) + E(T_rec)). *)
+  List.iter
+    (fun (w, c, d, r, l) ->
+      let p = Expected_time.make ~downtime:d ~recovery:r ~work:w ~checkpoint:c ~lambda:l () in
+      let lhs = Expected_time.expected p in
+      let rhs =
+        w +. c
+        +. (Float.expm1 (l *. (w +. c))
+            *. (Expected_time.expected_lost p +. Expected_time.expected_recovery p))
+      in
+      close ~tol:1e-12
+        (Printf.sprintf "Equation 3 at W=%g C=%g D=%g R=%g lambda=%g" w c d r l)
+        rhs lhs)
+    [
+      (10.0, 1.0, 0.5, 2.0, 0.05);
+      (100.0, 10.0, 0.0, 0.0, 0.001);
+      (1.0, 0.0, 3.0, 7.0, 0.9);
+      (3600.0, 30.0, 60.0, 30.0, 1e-5);
+    ]
+
+let test_expected_lost_value () =
+  (* Equation 4: E(T_lost) = 1/λ − (W+C)/(e^(λ(W+C)) − 1). *)
+  let p = params () in
+  let reference = (1.0 /. 0.05) -. (11.0 /. (exp (0.05 *. 11.0) -. 1.0)) in
+  close "Equation 4" reference (Expected_time.expected_lost p);
+  (* E(T_lost) is below the full window and below the mean 1/λ. *)
+  Alcotest.(check bool) "lost below window" true
+    (Expected_time.expected_lost p < 11.0);
+  Alcotest.(check bool) "lost below mean" true (Expected_time.expected_lost p < 20.0)
+
+let test_expected_recovery_value () =
+  (* Equation 5: E(T_rec) = D·e^(λR) + (e^(λR) − 1)/λ. *)
+  let p = params () in
+  let reference = (0.5 *. exp 0.1) +. ((exp 0.1 -. 1.0) /. 0.05) in
+  close "Equation 5" reference (Expected_time.expected_recovery p);
+  (* With an instantaneous recovery, only the downtime remains. *)
+  let p0 = params ~recovery:0.0 () in
+  close "R=0 leaves only D" 0.5 (Expected_time.expected_recovery p0)
+
+let test_expected_failures () =
+  let p = params () in
+  let g = exp (0.05 *. 11.0) -. 1.0 in
+  close "failure count" (g *. exp 0.1) (Expected_time.expected_failures p);
+  let p_safe = params ~lambda:1e-9 () in
+  Alcotest.(check bool) "almost no failures at tiny lambda" true
+    (Expected_time.expected_failures p_safe < 1e-6)
+
+let test_success_probability () =
+  let p = params () in
+  close "success probability" (exp (-0.55)) (Expected_time.success_probability p)
+
+let test_overhead_ratio () =
+  let p = params () in
+  close "overhead"
+    ((Expected_time.expected p /. 10.0) -. 1.0)
+    (Expected_time.overhead_ratio p)
+
+let test_breakdown_sums_to_expectation () =
+  List.iter
+    (fun (w, c, d, r, l) ->
+      let p = Expected_time.make ~downtime:d ~recovery:r ~work:w ~checkpoint:c ~lambda:l () in
+      let b = Expected_time.breakdown p in
+      close ~tol:1e-12
+        (Printf.sprintf "breakdown sums at W=%g lambda=%g" w l)
+        (Expected_time.expected p)
+        (b.Expected_time.useful +. b.Expected_time.checkpoint +. b.Expected_time.lost
+         +. b.Expected_time.restore);
+      Alcotest.(check bool) "all components non-negative" true
+        (b.Expected_time.lost >= 0.0 && b.Expected_time.restore >= 0.0))
+    [
+      (10.0, 1.0, 0.5, 2.0, 0.05); (100.0, 10.0, 0.0, 0.0, 0.001);
+      (1.0, 0.0, 3.0, 7.0, 0.9); (3600.0, 30.0, 60.0, 30.0, 1e-5);
+    ]
+
+let test_breakdown_waste_grows_with_lambda () =
+  let waste l =
+    let p = params ~lambda:l () in
+    let b = Expected_time.breakdown p in
+    b.Expected_time.lost +. b.Expected_time.restore
+  in
+  Alcotest.(check bool) "waste increases with failure rate" true
+    (waste 0.001 < waste 0.01 && waste 0.01 < waste 0.1)
+
+let test_variance_limits () =
+  (* lambda -> 0: the execution is deterministic, variance vanishes. *)
+  let p = params ~lambda:1e-10 () in
+  Alcotest.(check bool) "variance -> 0 with lambda" true
+    (Expected_time.variance p < 1e-6);
+  (* Failures present: strictly positive variance. *)
+  Alcotest.(check bool) "variance positive" true (Expected_time.variance (params ()) > 0.0)
+
+let test_second_moment_against_simulation () =
+  (* The closed-form mean and variance must match the simulated moments. *)
+  let work = 10.0 and checkpoint = 1.0 and downtime = 0.5 and recovery = 2.0 in
+  let lambda = 0.08 in
+  let p = Expected_time.make ~downtime ~recovery ~work ~checkpoint ~lambda () in
+  let rng = Ckpt_prng.Rng.create ~seed:5150L in
+  let acc = Ckpt_stats.Welford.create () in
+  for run = 0 to 99_999 do
+    let run_rng = Ckpt_prng.Rng.substream rng (string_of_int run) in
+    let stream = Ckpt_failures.Failure_stream.poisson ~rate:lambda run_rng in
+    let makespan =
+      Ckpt_sim.Sim_run.run_segments ~downtime
+        ~next_failure:(Ckpt_failures.Failure_stream.next_after stream)
+        [ Ckpt_sim.Sim_run.segment ~work ~checkpoint ~recovery ]
+    in
+    Ckpt_stats.Welford.add acc makespan
+  done;
+  let sim_var = Ckpt_stats.Welford.variance acc in
+  let exact_var = Expected_time.variance p in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated variance %.3f vs closed form %.3f" sim_var exact_var)
+    true
+    (Float.abs (sim_var -. exact_var) /. exact_var < 0.05);
+  let sim_m2 = sim_var +. (Ckpt_stats.Welford.mean acc ** 2.0) in
+  Alcotest.(check bool) "second moment agrees" true
+    (Float.abs (sim_m2 -. Expected_time.second_moment p) /. sim_m2 < 0.05)
+
+let float_pos lo hi = QCheck.float_range lo hi
+
+let qcheck_second_moment_dominates_mean_square =
+  QCheck.Test.make ~name:"E(T^2) >= E(T)^2 (variance non-negative)" ~count:300
+    QCheck.(
+      pair
+        (quad (float_pos 0.1 50.0) (float_pos 0.0 5.0) (float_pos 0.0 5.0)
+           (float_pos 0.0 5.0))
+        (float_pos 1e-5 0.5))
+    (fun ((w, c, d, r), l) ->
+      let p = Expected_time.make ~downtime:d ~recovery:r ~work:w ~checkpoint:c ~lambda:l () in
+      let mean = Expected_time.expected p in
+      Expected_time.second_moment p >= (mean *. mean) *. (1.0 -. 1e-9))
+
+let qcheck_monotone_in field =
+  let name = Printf.sprintf "E(T) is increasing in %s" field in
+  QCheck.Test.make ~name ~count:500
+    QCheck.(
+      pair
+        (quad (float_pos 0.1 50.0) (float_pos 0.0 5.0) (float_pos 0.0 5.0)
+           (float_pos 0.0 5.0))
+        (pair (float_pos 1e-4 0.5) (float_pos 1e-6 2.0)))
+    (fun ((w, c, d, r), (l, delta)) ->
+      let base = Expected_time.expected_v ~work:w ~checkpoint:c ~downtime:d ~recovery:r ~lambda:l in
+      let bumped =
+        match field with
+        | "work" ->
+            Expected_time.expected_v ~work:(w +. delta) ~checkpoint:c ~downtime:d
+              ~recovery:r ~lambda:l
+        | "checkpoint" ->
+            Expected_time.expected_v ~work:w ~checkpoint:(c +. delta) ~downtime:d
+              ~recovery:r ~lambda:l
+        | "downtime" ->
+            Expected_time.expected_v ~work:w ~checkpoint:c ~downtime:(d +. delta)
+              ~recovery:r ~lambda:l
+        | "recovery" ->
+            Expected_time.expected_v ~work:w ~checkpoint:c ~downtime:d
+              ~recovery:(r +. delta) ~lambda:l
+        | "lambda" ->
+            Expected_time.expected_v ~work:w ~checkpoint:c ~downtime:d ~recovery:r
+              ~lambda:(l +. delta)
+        | _ -> assert false
+      in
+      bumped >= base -. 1e-12)
+
+let qcheck_dominates_failure_free =
+  QCheck.Test.make ~name:"E(T) >= W + C" ~count:500
+    QCheck.(
+      pair
+        (quad (float_pos 0.1 50.0) (float_pos 0.0 5.0) (float_pos 0.0 5.0)
+           (float_pos 0.0 5.0))
+        (float_pos 1e-6 1.0))
+    (fun ((w, c, d, r), l) ->
+      Expected_time.expected_v ~work:w ~checkpoint:c ~downtime:d ~recovery:r ~lambda:l
+      >= w +. c -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "closed-form value (Equation 6)" `Quick test_closed_form_value;
+    Alcotest.test_case "parameter validation" `Quick test_validation;
+    Alcotest.test_case "lambda -> 0 limit" `Quick test_lambda_to_zero_limit;
+    Alcotest.test_case "small-lambda numerical accuracy" `Quick test_small_lambda_accuracy;
+    Alcotest.test_case "Equation 3 identity" `Quick test_equation3_identity;
+    Alcotest.test_case "E(T_lost) (Equation 4)" `Quick test_expected_lost_value;
+    Alcotest.test_case "E(T_rec) (Equation 5)" `Quick test_expected_recovery_value;
+    Alcotest.test_case "expected failure count" `Quick test_expected_failures;
+    Alcotest.test_case "success probability" `Quick test_success_probability;
+    Alcotest.test_case "overhead ratio" `Quick test_overhead_ratio;
+    Alcotest.test_case "breakdown sums to E(T)" `Quick test_breakdown_sums_to_expectation;
+    Alcotest.test_case "breakdown waste grows with lambda" `Quick
+      test_breakdown_waste_grows_with_lambda;
+    Alcotest.test_case "variance limits" `Quick test_variance_limits;
+    Alcotest.test_case "second moment vs simulation" `Slow
+      test_second_moment_against_simulation;
+    QCheck_alcotest.to_alcotest qcheck_second_moment_dominates_mean_square;
+    QCheck_alcotest.to_alcotest (qcheck_monotone_in "work");
+    QCheck_alcotest.to_alcotest (qcheck_monotone_in "checkpoint");
+    QCheck_alcotest.to_alcotest (qcheck_monotone_in "downtime");
+    QCheck_alcotest.to_alcotest (qcheck_monotone_in "recovery");
+    QCheck_alcotest.to_alcotest (qcheck_monotone_in "lambda");
+    QCheck_alcotest.to_alcotest qcheck_dominates_failure_free;
+  ]

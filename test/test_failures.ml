@@ -1,0 +1,275 @@
+(* Tests for the failure substrate: heap, platform, streams, traces,
+   cluster logs. *)
+
+module Min_heap = Ckpt_failures.Min_heap
+module Platform = Ckpt_failures.Platform
+module Failure_stream = Ckpt_failures.Failure_stream
+module Trace = Ckpt_failures.Trace
+module Cluster_log = Ckpt_failures.Cluster_log
+module Law = Ckpt_dist.Law
+module Rng = Ckpt_prng.Rng
+module Welford = Ckpt_stats.Welford
+
+let test_heap_basics () =
+  let h = Min_heap.create () in
+  Alcotest.(check bool) "empty" true (Min_heap.is_empty h);
+  Min_heap.push h 3.0 "c";
+  Min_heap.push h 1.0 "a";
+  Min_heap.push h 2.0 "b";
+  Alcotest.(check int) "size" 3 (Min_heap.size h);
+  (match Min_heap.peek h with
+  | Some (t, v) -> Alcotest.(check bool) "peek smallest" true (t = 1.0 && v = "a")
+  | None -> Alcotest.fail "peek failed");
+  (match Min_heap.pop h with
+  | Some (1.0, "a") -> ()
+  | _ -> Alcotest.fail "pop order");
+  Min_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Min_heap.is_empty h)
+
+let qcheck_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in non-decreasing order" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 100) (float_range 0.0 1000.0))
+    (fun times ->
+      let h = Min_heap.create () in
+      List.iteri (fun i t -> Min_heap.push h t i) times;
+      let rec drain acc =
+        match Min_heap.pop h with None -> List.rev acc | Some (t, _) -> drain (t :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+let test_platform () =
+  let p = Platform.exponential ~downtime:1.0 ~processors:8 ~proc_rate:0.01 () in
+  Alcotest.(check bool) "platform rate = p*lambda" true
+    (Float.abs (Platform.platform_rate p -. 0.08) < 1e-12);
+  Alcotest.(check bool) "platform MTBF" true
+    (Float.abs (Platform.platform_mtbf p -. (100.0 /. 8.0)) < 1e-9);
+  let weib = Platform.make ~processors:4 ~proc_law:(Law.weibull ~shape:0.7 ~scale:10.0) () in
+  Alcotest.check_raises "rate undefined for weibull"
+    (Invalid_argument "Platform.platform_rate: only defined for Exponential laws")
+    (fun () -> ignore (Platform.platform_rate weib));
+  Alcotest.check_raises "processors must be positive"
+    (Invalid_argument "Platform.make: processors must be positive") (fun () ->
+      ignore (Platform.make ~processors:0 ~proc_law:(Law.exponential ~rate:1.0) ()))
+
+let test_poisson_stream_interarrival () =
+  let rng = Rng.create ~seed:101L in
+  let stream = Failure_stream.poisson ~rate:0.5 rng in
+  let acc = Welford.create () in
+  let prev = ref 0.0 in
+  for _ = 1 to 100_000 do
+    let t = Failure_stream.next_after stream !prev in
+    Welford.add acc (t -. !prev);
+    prev := t
+  done;
+  Alcotest.(check bool) "mean interarrival close to 1/rate" true
+    (Float.abs (Welford.mean acc -. 2.0) < 0.05)
+
+let test_stream_query_stability () =
+  (* Querying with an earlier-but-still-nondecreasing time returns the
+     same pending failure. *)
+  let rng = Rng.create ~seed:103L in
+  let stream = Failure_stream.poisson ~rate:1.0 rng in
+  let f1 = Failure_stream.next_after stream 0.0 in
+  let f2 = Failure_stream.next_after stream (f1 /. 2.0) in
+  Alcotest.(check bool) "pending failure unchanged" true (f1 = f2);
+  (* Consuming past it yields a strictly later failure. *)
+  let f3 = Failure_stream.next_after stream f1 in
+  Alcotest.(check bool) "next failure later" true (f3 > f1)
+
+let test_stream_monotone_guard () =
+  let rng = Rng.create ~seed:105L in
+  let stream = Failure_stream.poisson ~rate:1.0 rng in
+  ignore (Failure_stream.next_after stream 5.0);
+  Alcotest.check_raises "decreasing query rejected"
+    (Invalid_argument "Failure_stream.next_after: query times must be non-decreasing")
+    (fun () -> ignore (Failure_stream.next_after stream 4.0))
+
+let test_renewal_exponential_matches_poisson_rate () =
+  (* Superposition of p exponential renewal processes is Poisson(p*rate):
+     compare failure counts over a horizon. *)
+  let horizon = 10_000.0 in
+  let count_failures stream =
+    let rec loop n t =
+      let f = Failure_stream.next_after stream t in
+      if f > horizon then n else loop (n + 1) f
+    in
+    loop 0 0.0
+  in
+  let rng = Rng.create ~seed:107L in
+  let renewal =
+    Failure_stream.renewal ~law:(Law.exponential ~rate:0.01) ~processors:10
+      (Rng.substream rng "renewal")
+  in
+  let n_renewal = count_failures renewal in
+  let expected = 0.01 *. 10.0 *. horizon in
+  Alcotest.(check bool)
+    (Printf.sprintf "renewal count %d close to %g" n_renewal expected)
+    true
+    (Float.abs (float_of_int n_renewal -. expected) < 4.0 *. sqrt expected)
+
+let test_renewal_skip_consumes () =
+  let law = Law.deterministic 10.0 in
+  let rng = Rng.create ~seed:109L in
+  let stream = Failure_stream.renewal ~law ~processors:1 rng in
+  Alcotest.(check bool) "first failure at 10" true
+    (Failure_stream.next_after stream 0.0 = 10.0);
+  (* Skip past 25: failures at 10 and 20 are consumed, next is 30. *)
+  Alcotest.(check bool) "skipping renews clocks" true
+    (Failure_stream.next_after stream 25.0 = 30.0)
+
+let test_replay () =
+  let stream = Failure_stream.of_times [| 1.0; 2.5; 7.0 |] in
+  Alcotest.(check bool) "first" true (Failure_stream.next_after stream 0.0 = 1.0);
+  Alcotest.(check bool) "skip to 3" true (Failure_stream.next_after stream 3.0 = 7.0);
+  Alcotest.(check bool) "exhausted" true (Failure_stream.next_after stream 8.0 = infinity);
+  Alcotest.check_raises "unsorted rejected"
+    (Invalid_argument "Failure_stream.of_times: times must be sorted") (fun () ->
+      ignore (Failure_stream.of_times [| 2.0; 1.0 |]))
+
+let test_trace_generate_and_stats () =
+  let rng = Rng.create ~seed:111L in
+  let platform = Platform.exponential ~processors:4 ~proc_rate:0.005 () in
+  let trace = Trace.generate ~platform ~horizon:50_000.0 rng in
+  let expected_count = 0.02 *. 50_000.0 in
+  Alcotest.(check bool) "count plausible" true
+    (Float.abs (float_of_int (Trace.count trace) -. expected_count)
+     < 5.0 *. sqrt expected_count);
+  Alcotest.(check bool) "mtbf plausible" true
+    (Float.abs (Trace.mtbf trace -. 50.0) < 5.0);
+  let gaps = Trace.inter_arrival trace in
+  Alcotest.(check int) "gap count" (Trace.count trace) (Array.length gaps);
+  Array.iter (fun g -> Alcotest.(check bool) "gaps positive" true (g > 0.0)) gaps
+
+let test_trace_save_load () =
+  let rng = Rng.create ~seed:113L in
+  let platform = Platform.exponential ~processors:2 ~proc_rate:0.01 () in
+  let trace = Trace.generate ~platform ~horizon:1000.0 rng in
+  let path = Filename.temp_file "ckpt_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save trace path;
+      let loaded = Trace.load path in
+      Alcotest.(check int) "count preserved" (Trace.count trace) (Trace.count loaded);
+      Alcotest.(check bool) "times preserved" true
+        (trace.Trace.times = loaded.Trace.times);
+      Alcotest.(check bool) "horizon preserved" true
+        (trace.Trace.horizon = loaded.Trace.horizon))
+
+let test_trace_of_times_validation () =
+  Alcotest.check_raises "out of horizon"
+    (Invalid_argument "Trace.of_times: time out of [0, horizon]") (fun () ->
+      ignore (Trace.of_times ~horizon:10.0 [| 11.0 |]))
+
+let test_cluster_log () =
+  let rng = Rng.create ~seed:115L in
+  let law = Law.weibull_of_mean ~shape:0.7 ~mean:500.0 in
+  let log = Cluster_log.generate ~heterogeneity:0.3 ~law ~nodes:20 ~horizon:20_000.0 rng in
+  Alcotest.(check int) "node count" 20 (Cluster_log.node_count log);
+  let merged = Cluster_log.merged_times log in
+  Alcotest.(check int) "merged count = total failures" (Cluster_log.failure_count log)
+    (Array.length merged);
+  Array.iteri
+    (fun i t -> if i > 0 then Alcotest.(check bool) "merged sorted" true (t >= merged.(i - 1)))
+    merged;
+  let trace = Cluster_log.to_trace log in
+  Alcotest.(check int) "trace count" (Array.length merged) (Trace.count trace);
+  let mtbfs = Cluster_log.node_mtbf log in
+  Alcotest.(check int) "one mtbf per node" 20 (Array.length mtbfs)
+
+let test_cluster_log_save_load () =
+  let rng = Rng.create ~seed:117L in
+  let law = Law.exponential ~rate:0.002 in
+  let log = Cluster_log.generate ~law ~nodes:5 ~horizon:10_000.0 rng in
+  let path = Filename.temp_file "ckpt_log" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cluster_log.save log path;
+      let loaded = Cluster_log.load path in
+      Alcotest.(check int) "nodes preserved" (Cluster_log.node_count log)
+        (Cluster_log.node_count loaded);
+      Alcotest.(check int) "failures preserved" (Cluster_log.failure_count log)
+        (Cluster_log.failure_count loaded);
+      Alcotest.(check bool) "merged times equal" true
+        (Cluster_log.merged_times log = Cluster_log.merged_times loaded))
+
+let test_rejuvenation_modes_exponential_equivalent () =
+  (* For Exponential laws, Failed_only and All_processors rejuvenation
+     give the same failure-count distribution. *)
+  let horizon = 5_000.0 in
+  let count rejuvenation seed =
+    let rng = Rng.create ~seed in
+    let stream =
+      Failure_stream.renewal ~rejuvenation ~law:(Law.exponential ~rate:0.01) ~processors:5
+        rng
+    in
+    let rec loop n t =
+      let f = Failure_stream.next_after stream t in
+      if f > horizon then n else loop (n + 1) f
+    in
+    loop 0 0.0
+  in
+  let acc_f = Welford.create () and acc_a = Welford.create () in
+  for s = 1 to 60 do
+    Welford.add acc_f (float_of_int (count Failure_stream.Failed_only (Int64.of_int s)));
+    Welford.add acc_a
+      (float_of_int (count Failure_stream.All_processors (Int64.of_int (s + 1000))))
+  done;
+  let rel =
+    Float.abs (Welford.mean acc_f -. Welford.mean acc_a) /. Welford.mean acc_f
+  in
+  Alcotest.(check bool) "failure counts statistically equal" true (rel < 0.05)
+
+let test_cascading_closed_form () =
+  let module Cascading = Ckpt_failures.Cascading in
+  (* Analytic: (e^(lambda D) - 1)/lambda. *)
+  let lambda = 0.02 and downtime = 10.0 in
+  let analytic = Cascading.expected_effective ~lambda ~downtime in
+  Alcotest.(check bool) "formula value" true
+    (Float.abs (analytic -. (Float.expm1 0.2 /. 0.02)) < 1e-9);
+  Alcotest.(check bool) "exceeds the constant-D model" true
+    (Cascading.expected_excess ~lambda ~downtime > 0.0);
+  (* lambda D -> 0: constant-D model accurate (the paper's remark). *)
+  let tiny = Cascading.expected_excess ~lambda:1e-7 ~downtime:10.0 in
+  Alcotest.(check bool) "tiny excess for small lambda D" true (tiny < 1e-4);
+  (* Simulation agrees. *)
+  let rng = Rng.create ~seed:4321L in
+  let acc = Cascading.simulate ~lambda:0.05 ~downtime:10.0 ~runs:50_000 rng in
+  let analytic = Cascading.expected_effective ~lambda:0.05 ~downtime:10.0 in
+  let lo, hi = Welford.confidence_interval acc ~level:0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "analytic %.4f in CI [%.4f, %.4f]" analytic lo hi)
+    true
+    (lo <= analytic && analytic <= hi)
+
+let test_cascading_failure_count () =
+  let module Cascading = Ckpt_failures.Cascading in
+  Alcotest.(check bool) "expected extra failures = e^(lD) - 1" true
+    (Float.abs (Cascading.expected_cascade_failures ~lambda:0.1 ~downtime:5.0
+                -. Float.expm1 0.5)
+     < 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "min-heap basics" `Quick test_heap_basics;
+    Alcotest.test_case "cascading downtime closed form" `Slow test_cascading_closed_form;
+    Alcotest.test_case "cascading failure count" `Quick test_cascading_failure_count;
+    QCheck_alcotest.to_alcotest qcheck_heap_sorted;
+    Alcotest.test_case "platform model" `Quick test_platform;
+    Alcotest.test_case "poisson inter-arrivals" `Slow test_poisson_stream_interarrival;
+    Alcotest.test_case "stream query stability" `Quick test_stream_query_stability;
+    Alcotest.test_case "stream monotone guard" `Quick test_stream_monotone_guard;
+    Alcotest.test_case "renewal superposition rate" `Slow
+      test_renewal_exponential_matches_poisson_rate;
+    Alcotest.test_case "renewal skip consumes clocks" `Quick test_renewal_skip_consumes;
+    Alcotest.test_case "trace replay" `Quick test_replay;
+    Alcotest.test_case "trace generation stats" `Slow test_trace_generate_and_stats;
+    Alcotest.test_case "trace save/load" `Quick test_trace_save_load;
+    Alcotest.test_case "trace validation" `Quick test_trace_of_times_validation;
+    Alcotest.test_case "cluster log" `Quick test_cluster_log;
+    Alcotest.test_case "cluster log save/load" `Quick test_cluster_log_save_load;
+    Alcotest.test_case "rejuvenation modes equal for exponential" `Slow
+      test_rejuvenation_modes_exponential_equivalent;
+  ]

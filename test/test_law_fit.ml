@@ -1,0 +1,130 @@
+(* Tests for maximum-likelihood law fitting. *)
+
+module Law = Ckpt_dist.Law
+module Law_fit = Ckpt_dist.Law_fit
+module Rng = Ckpt_prng.Rng
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let samples law n seed =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ -> Law.sample law rng)
+
+let test_exponential_recovery () =
+  let xs = samples (Law.exponential ~rate:0.05) 50_000 11L in
+  match Law_fit.exponential xs with
+  | Law.Exponential { rate } ->
+      close ~tol:0.02 "recovered rate" 0.05 rate
+  | law -> Alcotest.fail (Law.to_string law)
+
+let test_weibull_recovery () =
+  let xs = samples (Law.weibull ~shape:0.7 ~scale:120.0) 50_000 13L in
+  match Law_fit.weibull xs with
+  | Law.Weibull { shape; scale } ->
+      close ~tol:0.02 "recovered shape" 0.7 shape;
+      close ~tol:0.03 "recovered scale" 120.0 scale
+  | law -> Alcotest.fail (Law.to_string law)
+
+let test_weibull_recovery_increasing_hazard () =
+  let xs = samples (Law.weibull ~shape:2.2 ~scale:8.0) 50_000 17L in
+  match Law_fit.weibull xs with
+  | Law.Weibull { shape; scale } ->
+      close ~tol:0.02 "recovered shape > 1" 2.2 shape;
+      close ~tol:0.02 "recovered scale" 8.0 scale
+  | law -> Alcotest.fail (Law.to_string law)
+
+let test_log_normal_recovery () =
+  let xs = samples (Law.log_normal ~mu:1.3 ~sigma:0.9) 50_000 19L in
+  match Law_fit.log_normal xs with
+  | Law.Log_normal { mu; sigma } ->
+      close ~tol:0.02 "recovered mu" 1.3 mu;
+      close ~tol:0.02 "recovered sigma" 0.9 sigma
+  | law -> Alcotest.fail (Law.to_string law)
+
+let family law =
+  match law with
+  | Law.Exponential _ -> "exponential"
+  | Law.Weibull _ -> "weibull"
+  | Law.Log_normal _ -> "lognormal"
+  | _ -> "other"
+
+let test_best_fit_selects_family () =
+  let check name law expected_family =
+    let xs = samples law 20_000 101L in
+    let fitted, ll = Law_fit.best_fit xs in
+    Alcotest.(check string) (name ^ ": family selected") expected_family (family fitted);
+    Alcotest.(check bool) (name ^ ": finite likelihood") true (Float.is_finite ll)
+  in
+  check "weibull 0.6 data" (Law.weibull ~shape:0.6 ~scale:50.0) "weibull";
+  check "lognormal data" (Law.log_normal ~mu:2.0 ~sigma:1.4) "lognormal"
+
+let test_exponential_is_weibull_special_case () =
+  (* Exponential data: the Weibull fit must find shape ~ 1, and its
+     likelihood cannot beat the exponential one by much. *)
+  let xs = samples (Law.exponential ~rate:0.1) 50_000 23L in
+  (match Law_fit.weibull xs with
+  | Law.Weibull { shape; _ } -> close ~tol:0.02 "shape near 1" 1.0 shape
+  | law -> Alcotest.fail (Law.to_string law));
+  let ll_exp = Law_fit.log_likelihood (Law_fit.exponential xs) xs in
+  let ll_weib = Law_fit.log_likelihood (Law_fit.weibull xs) xs in
+  Alcotest.(check bool) "nested models: tiny likelihood gain" true
+    (ll_weib -. ll_exp < 0.001 *. Float.abs ll_exp)
+
+let test_validation () =
+  Alcotest.check_raises "too few samples"
+    (Invalid_argument "Law_fit.exponential: need at least two samples") (fun () ->
+      ignore (Law_fit.exponential [| 1.0 |]));
+  Alcotest.check_raises "positive samples"
+    (Invalid_argument "Law_fit.weibull: samples must be positive") (fun () ->
+      ignore (Law_fit.weibull [| 1.0; 0.0 |]))
+
+let test_fit_from_cluster_log () =
+  (* End-to-end: synthesize a log, fit its inter-arrival law per node,
+     recover the Weibull shape used for generation. *)
+  let law = Law.weibull_of_mean ~shape:0.7 ~mean:200.0 in
+  let rng = Rng.create ~seed:31L in
+  let log =
+    Ckpt_failures.Cluster_log.generate ~law ~nodes:200 ~horizon:100_000.0 rng
+  in
+  (* Pool the per-node inter-arrival times (each node is a renewal
+     process with the target law). *)
+  let gaps =
+    Array.concat
+      (List.filter_map
+         (fun (node : Ckpt_failures.Cluster_log.node) ->
+           let times = node.Ckpt_failures.Cluster_log.failure_times in
+           if Array.length times < 2 then None
+           else
+             Some
+               (Array.init
+                  (Array.length times - 1)
+                  (fun i -> times.(i + 1) -. times.(i))))
+         (Array.to_list log.Ckpt_failures.Cluster_log.nodes))
+  in
+  Alcotest.(check bool) "enough gaps harvested" true (Array.length gaps > 10_000);
+  match Law_fit.weibull gaps with
+  | Law.Weibull { shape; _ } ->
+      (* Inter-arrival gaps (excluding each node's truncated first/last
+         interval) under-sample long gaps slightly; accept 10%. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "recovered shape %.3f near 0.7" shape)
+        true
+        (Float.abs (shape -. 0.7) < 0.07)
+  | law -> Alcotest.fail (Law.to_string law)
+
+let suite =
+  [
+    Alcotest.test_case "exponential recovery" `Slow test_exponential_recovery;
+    Alcotest.test_case "weibull recovery (k<1)" `Slow test_weibull_recovery;
+    Alcotest.test_case "weibull recovery (k>1)" `Slow test_weibull_recovery_increasing_hazard;
+    Alcotest.test_case "log-normal recovery" `Slow test_log_normal_recovery;
+    Alcotest.test_case "best-fit family selection" `Slow test_best_fit_selects_family;
+    Alcotest.test_case "exponential within weibull" `Slow
+      test_exponential_is_weibull_special_case;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "fit from a cluster log" `Slow test_fit_from_cluster_log;
+  ]

@@ -1,0 +1,134 @@
+(* Tests for the Section 3 scaling scenarios. *)
+
+module Moldable = Ckpt_core.Moldable
+module Approximations = Ckpt_core.Approximations
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let base ?(workload = Moldable.Perfectly_parallel)
+    ?(overhead = Moldable.Constant 10.0) () =
+  Moldable.scenario ~downtime:1.0 ~total_work:100_000.0 ~workload ~overhead
+    ~proc_rate:1e-5 ()
+
+let test_work_models () =
+  let perfect = base () in
+  close "perfect W(p)" 1000.0 (Moldable.work perfect ~p:100);
+  let amdahl = base ~workload:(Moldable.Amdahl 0.1) () in
+  close "Amdahl W(p)" ((0.9 *. 100_000.0 /. 100.0) +. (0.1 *. 100_000.0))
+    (Moldable.work amdahl ~p:100);
+  (* Amdahl floor: the sequential fraction survives any p. *)
+  Alcotest.(check bool) "Amdahl floor" true
+    (Moldable.work amdahl ~p:1_000_000 > 0.1 *. 100_000.0);
+  let kernel = base ~workload:(Moldable.Numerical_kernel 0.5) () in
+  close "kernel W(p)"
+    ((100_000.0 /. 100.0) +. (0.5 *. (100_000.0 ** (2.0 /. 3.0)) /. 10.0))
+    (Moldable.work kernel ~p:100)
+
+let test_overhead_models () =
+  let prop = base ~overhead:(Moldable.Proportional 10.0) () in
+  close "proportional C(p)" 0.1 (Moldable.checkpoint_cost prop ~p:100);
+  let const = base ~overhead:(Moldable.Constant 10.0) () in
+  close "constant C(p)" 10.0 (Moldable.checkpoint_cost const ~p:100)
+
+let test_lambda_scaling () =
+  let s = base () in
+  close "lambda(p) = p lambda_proc" 1e-3 (Moldable.lambda s ~p:100)
+
+let test_validation () =
+  Alcotest.check_raises "gamma >= 1 rejected"
+    (Invalid_argument "Moldable.scenario: Amdahl gamma must lie in [0,1)") (fun () ->
+      ignore
+        (Moldable.scenario ~total_work:1.0 ~workload:(Moldable.Amdahl 1.0)
+           ~overhead:(Moldable.Constant 1.0) ~proc_rate:1e-5 ()));
+  Alcotest.check_raises "p = 0 rejected" (Invalid_argument "Moldable: p must be >= 1")
+    (fun () -> ignore (Moldable.work (base ()) ~p:0))
+
+let test_expected_time_uses_optimal_segmentation () =
+  let s = base () in
+  let p = 64 in
+  let direct =
+    Approximations.optimal_divisible
+      ~total_work:(Moldable.work s ~p)
+      ~checkpoint:(Moldable.checkpoint_cost s ~p)
+      ~downtime:1.0
+      ~recovery:(Moldable.checkpoint_cost s ~p)
+      ~lambda:(Moldable.lambda s ~p)
+  in
+  let result = Moldable.expected_time s ~p in
+  close "matches divisible optimum" direct.Approximations.expected_total
+    result.Approximations.expected_total
+
+let test_optimal_processors_is_argmin () =
+  let s = base () in
+  let max_p = 512 in
+  let best_p, best = Moldable.optimal_processors s ~max_p in
+  Alcotest.(check bool) "in range" true (best_p >= 1 && best_p <= max_p);
+  for p = 1 to max_p do
+    Alcotest.(check bool) "argmin" true
+      (best.Approximations.expected_total
+       <= (Moldable.expected_time s ~p).Approximations.expected_total +. 1e-9)
+  done
+
+let test_interior_optimum_exists () =
+  (* With constant checkpoint cost, going parallel first helps (less
+     work per processor) then hurts (lambda grows, C does not shrink):
+     the optimum lies strictly inside a wide enough range. *)
+  let s =
+    Moldable.scenario ~downtime:1.0 ~total_work:1_000_000.0
+      ~workload:Moldable.Perfectly_parallel ~overhead:(Moldable.Constant 100.0)
+      ~proc_rate:1e-4 ()
+  in
+  let best_p, _ = Moldable.optimal_processors s ~max_p:4096 in
+  Alcotest.(check bool)
+    (Printf.sprintf "interior optimum (p* = %d)" best_p)
+    true
+    (best_p > 1 && best_p < 4096)
+
+let test_proportional_scales_further_than_constant () =
+  (* The E9 claim: when checkpoints shrink with p, larger platforms stay
+     profitable longer. *)
+  let mk overhead =
+    Moldable.scenario ~downtime:1.0 ~total_work:1_000_000.0
+      ~workload:Moldable.Perfectly_parallel ~overhead ~proc_rate:1e-4 ()
+  in
+  let p_prop, _ = Moldable.optimal_processors (mk (Moldable.Proportional 100.0)) ~max_p:8192 in
+  let p_const, _ = Moldable.optimal_processors (mk (Moldable.Constant 100.0)) ~max_p:8192 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p*(proportional) = %d > p*(constant) = %d" p_prop p_const)
+    true (p_prop > p_const)
+
+let test_sweep () =
+  let s = base () in
+  let rows = Moldable.sweep s ~ps:[ 1; 2; 4; 8 ] in
+  Alcotest.(check (list int)) "sweep covers requested ps" [ 1; 2; 4; 8 ]
+    (List.map fst rows);
+  (* Monotone improvement in this easy regime. *)
+  let totals = List.map (fun (_, d) -> d.Approximations.expected_total) rows in
+  Alcotest.(check bool) "more processors help at small p" true
+    (totals = List.sort (fun a b -> compare b a) totals)
+
+let test_to_string () =
+  Alcotest.(check string) "workload rendering" "Amdahl(gamma=0.25)"
+    (Moldable.workload_to_string (Moldable.Amdahl 0.25));
+  Alcotest.(check string) "overhead rendering" "constant(C=10)"
+    (Moldable.overhead_to_string (Moldable.Constant 10.0))
+
+let suite =
+  [
+    Alcotest.test_case "workload models" `Quick test_work_models;
+    Alcotest.test_case "overhead models" `Quick test_overhead_models;
+    Alcotest.test_case "lambda scaling" `Quick test_lambda_scaling;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "expected time = divisible optimum" `Quick
+      test_expected_time_uses_optimal_segmentation;
+    Alcotest.test_case "optimal processors is argmin" `Slow test_optimal_processors_is_argmin;
+    Alcotest.test_case "interior optimum" `Quick test_interior_optimum_exists;
+    Alcotest.test_case "proportional scales further" `Quick
+      test_proportional_scales_further_than_constant;
+    Alcotest.test_case "sweep" `Quick test_sweep;
+    Alcotest.test_case "rendering" `Quick test_to_string;
+  ]

@@ -1,0 +1,182 @@
+(* Tests for the non-memoryless checkpoint policies (Section 6). *)
+
+module Law = Ckpt_dist.Law
+module Task = Ckpt_dag.Task
+module Rng = Ckpt_prng.Rng
+module Sim_run = Ckpt_sim.Sim_run
+module Monte_carlo = Ckpt_sim.Monte_carlo
+module Platform = Ckpt_failures.Platform
+module Chain_problem = Ckpt_core.Chain_problem
+module Chain_dp = Ckpt_core.Chain_dp
+module Schedule = Ckpt_core.Schedule
+module Expected_time = Ckpt_core.Expected_time
+module Nonmemoryless = Ckpt_core.Nonmemoryless
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let ctx ?(task_index = 0) ?(last_checkpoint = -1) ?(now = 10.0) ?(since = 10.0)
+    ?(unsaved = 5.0) () =
+  {
+    Sim_run.task_index;
+    last_checkpoint;
+    now;
+    since_last_failure = since;
+    work_since_checkpoint = unsaved;
+  }
+
+let test_basic_policies () =
+  Alcotest.(check bool) "checkpoint_all" true (Nonmemoryless.checkpoint_all (ctx ()));
+  Alcotest.(check bool) "checkpoint_none" false (Nonmemoryless.checkpoint_none (ctx ()));
+  let policy = Nonmemoryless.work_threshold ~threshold:4.0 in
+  Alcotest.(check bool) "threshold exceeded" true (policy (ctx ~unsaved:5.0 ()));
+  Alcotest.(check bool) "threshold not reached" false (policy (ctx ~unsaved:3.0 ()))
+
+let test_static_policy_replays_schedule () =
+  let problem = Chain_problem.uniform ~lambda:0.1 ~checkpoint:0.5 ~recovery:0.5
+      [ 1.0; 2.0; 3.0 ]
+  in
+  let schedule = Schedule.of_indices problem [ 1 ] in
+  let policy = Nonmemoryless.static schedule in
+  Alcotest.(check bool) "no ckpt after task 0" false (policy (ctx ~task_index:0 ()));
+  Alcotest.(check bool) "ckpt after task 1" true (policy (ctx ~task_index:1 ()))
+
+let test_conditional_probability_exponential_memoryless () =
+  let law = Law.exponential ~rate:0.2 in
+  let p1 =
+    Nonmemoryless.conditional_failure_probability ~law ~processors:3 ~age:0.0 ~window:2.0
+  in
+  let p2 =
+    Nonmemoryless.conditional_failure_probability ~law ~processors:3 ~age:50.0 ~window:2.0
+  in
+  close "age-independent for exponential" p1 p2;
+  close "matches 1 - e^(-p lambda w)" (1.0 -. exp (-3.0 *. 0.2 *. 2.0)) p1
+
+let test_conditional_probability_weibull_ageing () =
+  (* Decreasing hazard: conditional failure probability decreases with age. *)
+  let law = Law.weibull ~shape:0.5 ~scale:10.0 in
+  let prob age =
+    Nonmemoryless.conditional_failure_probability ~law ~processors:1 ~age ~window:1.0
+  in
+  Alcotest.(check bool) "P(fail | young) > P(fail | old)" true
+    (prob 0.1 > prob 5.0 && prob 5.0 > prob 50.0)
+
+let test_remaining_expected_zero_done_is_prop1 () =
+  (* With no sunk work the lookahead formula collapses to Proposition 1
+     (it satisfies the same fixed-point equation). *)
+  List.iter
+    (fun (w, c, d, r, l) ->
+      let direct =
+        Expected_time.expected_v ~work:w ~checkpoint:c ~downtime:d ~recovery:r ~lambda:l
+      in
+      let via_remaining =
+        Nonmemoryless.remaining_expected ~lambda:l ~downtime:d ~recovery:r ~done_work:0.0
+          ~todo:w ~checkpoint:c
+      in
+      close ~tol:1e-12 (Printf.sprintf "collapse at W=%g l=%g" w l) direct via_remaining)
+    [ (10.0, 1.0, 0.5, 2.0, 0.05); (3.0, 0.1, 0.0, 0.0, 0.4); (100.0, 5.0, 1.0, 5.0, 0.003) ]
+
+let test_remaining_expected_monotone_in_done_work () =
+  let remaining done_work =
+    Nonmemoryless.remaining_expected ~lambda:0.1 ~downtime:0.5 ~recovery:1.0 ~done_work
+      ~todo:5.0 ~checkpoint:0.5
+  in
+  Alcotest.(check bool) "more sunk work, more at stake" true
+    (remaining 0.0 < remaining 5.0 && remaining 5.0 < remaining 20.0)
+
+let test_remaining_expected_degenerate () =
+  close "nothing to do costs nothing" 0.0
+    (Nonmemoryless.remaining_expected ~lambda:0.1 ~downtime:0.5 ~recovery:1.0
+       ~done_work:7.0 ~todo:0.0 ~checkpoint:0.0)
+
+let uniform_problem n =
+  Chain_problem.uniform ~downtime:0.1 ~lambda:0.02 ~checkpoint:0.4 ~recovery:0.4
+    (List.init n (fun _ -> 2.0))
+
+let simulate_policy ~law ~processors ~runs ~seed problem policy =
+  let platform = Platform.make ~downtime:0.1 ~processors ~proc_law:law () in
+  let rng = Rng.create ~seed in
+  (Monte_carlo.estimate_chain_policy ~model:(Monte_carlo.Platform platform) ~downtime:0.1
+     ~initial_recovery:problem.Chain_problem.initial_recovery ~runs ~rng ~decide:policy
+     problem.Chain_problem.tasks)
+    .Monte_carlo.mean
+
+let test_hazard_dp_reasonable_on_exponential () =
+  (* Under a truly Exponential law, the hazard-DP policy sees a constant
+     hazard and should behave like the static optimal placement: means
+     within a few percent. *)
+  let n = 10 in
+  let problem = uniform_problem n in
+  let law = Law.exponential ~rate:0.02 in
+  let dp_schedule = (Chain_dp.solve problem).Chain_dp.schedule in
+  let static =
+    simulate_policy ~law ~processors:1 ~runs:4000 ~seed:555L problem
+      (Nonmemoryless.static dp_schedule)
+  in
+  let adaptive =
+    simulate_policy ~law ~processors:1 ~runs:4000 ~seed:555L problem
+      (Nonmemoryless.hazard_dp ~law ~processors:1 ~problem)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive %.3f within 5%% of static %.3f" adaptive static)
+    true
+    (Float.abs (adaptive -. static) /. static < 0.05)
+
+let test_policies_produce_finite_makespans_under_weibull () =
+  let n = 8 in
+  let problem = uniform_problem n in
+  let law = Law.weibull_of_mean ~shape:0.7 ~mean:50.0 in
+  let policies =
+    [ ("static", Nonmemoryless.static (Chain_dp.solve problem).Chain_dp.schedule);
+      ("all", Nonmemoryless.checkpoint_all);
+      ("none", Nonmemoryless.checkpoint_none);
+      ("hazard-young", Nonmemoryless.hazard_young ~law ~processors:4 ~mean_checkpoint:0.4);
+      ("mrl-young", Nonmemoryless.mrl_young ~law ~processors:4 ~mean_checkpoint:0.4);
+      ("risk", Nonmemoryless.risk_bound ~law ~processors:4 ~problem ~max_risk:0.5);
+      ("hazard-dp", Nonmemoryless.hazard_dp ~law ~processors:4 ~problem) ]
+  in
+  List.iter
+    (fun (name, policy) ->
+      let mean = simulate_policy ~law ~processors:4 ~runs:500 ~seed:99L problem policy in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: finite positive makespan (%.3f)" name mean)
+        true
+        (Float.is_finite mean && mean >= 16.0))
+    policies
+
+let test_hazard_young_adapts () =
+  (* Right after a failure (small age) the hazard is huge for shape<1,
+     so the policy checkpoints at small unsaved work; long after, it
+     waits. *)
+  let law = Law.weibull ~shape:0.5 ~scale:100.0 in
+  let policy = Nonmemoryless.hazard_young ~law ~processors:1 ~mean_checkpoint:0.5 in
+  (* At age 0.6 the platform hazard is ~0.065, Young period ~3.9;
+     at age 500 the hazard drops to ~0.0022, Young period ~21. *)
+  let young_ctx = ctx ~since:0.6 ~unsaved:4.0 () in
+  let old_ctx = ctx ~since:500.0 ~unsaved:4.0 () in
+  Alcotest.(check bool) "checkpoints when hazard is high" true (policy young_ctx);
+  Alcotest.(check bool) "waits when hazard is low" false (policy old_ctx)
+
+let suite =
+  [
+    Alcotest.test_case "basic policies" `Quick test_basic_policies;
+    Alcotest.test_case "static policy replays schedule" `Quick
+      test_static_policy_replays_schedule;
+    Alcotest.test_case "conditional probability: exponential" `Quick
+      test_conditional_probability_exponential_memoryless;
+    Alcotest.test_case "conditional probability: weibull ageing" `Quick
+      test_conditional_probability_weibull_ageing;
+    Alcotest.test_case "remaining_expected collapses to Prop 1" `Quick
+      test_remaining_expected_zero_done_is_prop1;
+    Alcotest.test_case "remaining_expected monotone in sunk work" `Quick
+      test_remaining_expected_monotone_in_done_work;
+    Alcotest.test_case "remaining_expected degenerate" `Quick test_remaining_expected_degenerate;
+    Alcotest.test_case "hazard-DP sane on exponential" `Slow
+      test_hazard_dp_reasonable_on_exponential;
+    Alcotest.test_case "policies finite under weibull" `Slow
+      test_policies_produce_finite_makespans_under_weibull;
+    Alcotest.test_case "hazard-young adapts to age" `Quick test_hazard_young_adapts;
+  ]

@@ -1,0 +1,145 @@
+(* Cross-cutting invariants that tie the analytic layer, the DP and the
+   simulator together. The flagship property is dimensional consistency:
+   rescaling every duration by s and the failure rate by 1/s rescales
+   every expectation by s and every variance by s², and leaves optimal
+   placements untouched. *)
+
+module Task = Ckpt_dag.Task
+module Expected_time = Ckpt_core.Expected_time
+module Chain_problem = Ckpt_core.Chain_problem
+module Chain_dp = Ckpt_core.Chain_dp
+module Schedule = Ckpt_core.Schedule
+module Law = Ckpt_dist.Law
+module Superposition = Ckpt_dist.Superposition
+
+let rel_close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs b)
+
+let params_gen =
+  QCheck.(
+    pair
+      (quad (float_range 0.5 50.0) (float_range 0.0 5.0) (float_range 0.0 5.0)
+         (float_range 0.0 5.0))
+      (pair (float_range 1e-4 0.5) (float_range 0.1 100.0)))
+
+let qcheck_rescaling_expectation =
+  QCheck.Test.make ~name:"E(sW, sC, sD, sR, lambda/s) = s E(W, C, D, R, lambda)" ~count:500
+    params_gen
+    (fun ((w, c, d, r), (l, s)) ->
+      let base = Expected_time.expected_v ~work:w ~checkpoint:c ~downtime:d ~recovery:r ~lambda:l in
+      let scaled =
+        Expected_time.expected_v ~work:(s *. w) ~checkpoint:(s *. c) ~downtime:(s *. d)
+          ~recovery:(s *. r) ~lambda:(l /. s)
+      in
+      rel_close scaled (s *. base))
+
+let qcheck_rescaling_variance =
+  QCheck.Test.make ~name:"variance rescales as s^2" ~count:300 params_gen
+    (fun ((w, c, d, r), (l, s)) ->
+      let p = Expected_time.make ~downtime:d ~recovery:r ~work:w ~checkpoint:c ~lambda:l () in
+      let ps =
+        Expected_time.make ~downtime:(s *. d) ~recovery:(s *. r) ~work:(s *. w)
+          ~checkpoint:(s *. c) ~lambda:(l /. s) ()
+      in
+      (* Var = E(T²) − E(T)² cancels two nearly equal numbers when
+         λ(W+C) is small, so the achievable accuracy is relative to the
+         mean squared, not to the (possibly tiny) variance itself. *)
+      let mean_s = Expected_time.expected ps in
+      let tolerance = 1e-9 *. Float.max 1.0 (mean_s *. mean_s) in
+      Float.abs (Expected_time.variance ps -. (s *. s *. Expected_time.variance p))
+      <= tolerance)
+
+let random_chain seed n =
+  let rng = Ckpt_prng.Rng.create ~seed:(Int64.of_int seed) in
+  List.init n (fun i ->
+      Task.make ~id:i
+        ~work:(Ckpt_prng.Rng.float_range rng 0.5 8.0)
+        ~checkpoint_cost:(Ckpt_prng.Rng.float_range rng 0.0 1.5)
+        ~recovery_cost:(Ckpt_prng.Rng.float_range rng 0.0 2.0)
+        ())
+
+let scale_task s (t : Task.t) =
+  Task.make ~id:t.Task.id ~name:t.Task.name ~work:(s *. t.Task.work)
+    ~checkpoint_cost:(s *. t.Task.checkpoint_cost)
+    ~recovery_cost:(s *. t.Task.recovery_cost) ()
+
+let qcheck_rescaling_chain_dp =
+  QCheck.Test.make ~name:"chain DP: rescaling preserves the optimal placement" ~count:60
+    QCheck.(triple (int_range 1 12) (int_range 0 10_000) (float_range 0.2 20.0))
+    (fun (n, seed, s) ->
+      let tasks = random_chain seed n in
+      let lambda = 0.08 in
+      let base = Chain_problem.make ~downtime:0.4 ~initial_recovery:0.6 ~lambda tasks in
+      let scaled =
+        Chain_problem.make ~downtime:(0.4 *. s) ~initial_recovery:(0.6 *. s)
+          ~lambda:(lambda /. s) (List.map (scale_task s) tasks)
+      in
+      let sol = Chain_dp.solve base and sol_s = Chain_dp.solve scaled in
+      rel_close sol_s.Chain_dp.expected_makespan (s *. sol.Chain_dp.expected_makespan)
+      && Schedule.checkpoint_indices sol.Chain_dp.schedule
+         = Schedule.checkpoint_indices sol_s.Chain_dp.schedule)
+
+let qcheck_schedule_monotone_in_lambda =
+  QCheck.Test.make ~name:"any fixed placement: E(T) increases with lambda" ~count:100
+    QCheck.(quad (int_range 1 10) (int_range 0 5000) (float_range 1e-3 0.2)
+              (float_range 1e-4 0.2))
+    (fun (n, seed, l, dl) ->
+      let tasks = random_chain seed n in
+      let base = Chain_problem.make ~downtime:0.2 ~lambda:l tasks in
+      let bumped = Chain_problem.with_lambda base (l +. dl) in
+      let mask = seed land ((1 lsl n) - 1) in
+      let placement = Array.init n (fun i -> i = n - 1 || mask land (1 lsl i) <> 0) in
+      Schedule.expected_makespan (Schedule.make base placement)
+      <= Schedule.expected_makespan (Schedule.make bumped placement) +. 1e-9)
+
+let qcheck_dp_value_monotone_in_lambda =
+  QCheck.Test.make ~name:"optimal expectation increases with lambda" ~count:100
+    QCheck.(quad (int_range 1 10) (int_range 0 5000) (float_range 1e-3 0.2)
+              (float_range 1e-4 0.2))
+    (fun (n, seed, l, dl) ->
+      let tasks = random_chain seed n in
+      let base = Chain_problem.make ~downtime:0.2 ~lambda:l tasks in
+      let bumped = Chain_problem.with_lambda base (l +. dl) in
+      (Chain_dp.solve base).Chain_dp.expected_makespan
+      <= (Chain_dp.solve bumped).Chain_dp.expected_makespan +. 1e-9)
+
+let qcheck_superposition_single_is_base =
+  QCheck.Test.make ~name:"superposition of one fresh processor is the base law" ~count:200
+    QCheck.(pair (int_range 0 2) (float_range 0.1 30.0))
+    (fun (which, x) ->
+      let law =
+        match which with
+        | 0 -> Law.exponential ~rate:0.07
+        | 1 -> Law.weibull ~shape:0.8 ~scale:12.0
+        | _ -> Law.log_normal ~mu:1.0 ~sigma:0.7
+      in
+      let t = Superposition.fresh ~law ~processors:1 in
+      rel_close (Superposition.survival t x) (Law.survival law x))
+
+let qcheck_dp_dominated_by_random_placements =
+  (* The DP value is a lower bound on the expectation of 16 random
+     placements (weak but broad safety net across random instances). *)
+  QCheck.Test.make ~name:"DP value lower-bounds random placements" ~count:60
+    QCheck.(pair (int_range 2 14) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let tasks = random_chain seed n in
+      let problem = Chain_problem.make ~downtime:0.3 ~lambda:0.05 tasks in
+      let dp = (Chain_dp.solve problem).Chain_dp.expected_makespan in
+      let rng = Ckpt_prng.Rng.create ~seed:(Int64.of_int (seed + 7)) in
+      List.for_all
+        (fun _ ->
+          let placement =
+            Array.init n (fun i -> i = n - 1 || Ckpt_prng.Rng.bool rng)
+          in
+          Schedule.expected_makespan (Schedule.make problem placement) >= dp -. 1e-9)
+        (List.init 16 Fun.id))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_rescaling_expectation;
+    QCheck_alcotest.to_alcotest qcheck_rescaling_variance;
+    QCheck_alcotest.to_alcotest qcheck_rescaling_chain_dp;
+    QCheck_alcotest.to_alcotest qcheck_schedule_monotone_in_lambda;
+    QCheck_alcotest.to_alcotest qcheck_dp_value_monotone_in_lambda;
+    QCheck_alcotest.to_alcotest qcheck_superposition_single_is_base;
+    QCheck_alcotest.to_alcotest qcheck_dp_dominated_by_random_placements;
+  ]

@@ -1,0 +1,128 @@
+(* Tests for the Proposition 2 reduction: 3-PARTITION instances, the
+   polynomial transformation, and both directions of the equivalence. *)
+
+module Rng = Ckpt_prng.Rng
+module Reduction = Ckpt_core.Reduction
+module Schedule = Ckpt_core.Schedule
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+(* {7,7,7,9,9,9} with T = 24: every triple sums to 21, 23, 25 or 27,
+   never 24, so this instance is unsolvable yet satisfies all the
+   3-PARTITION constraints (items in (6,12), total 48 = 2*24). *)
+let unsolvable = Reduction.instance ~items:[ 7; 7; 7; 9; 9; 9 ] ~target:24
+
+(* {7,8,9} + {7,8,9} with T = 24 is trivially solvable. *)
+let solvable = Reduction.instance ~items:[ 7; 9; 8; 8; 9; 7 ] ~target:24
+
+let test_instance_validation () =
+  Alcotest.check_raises "count not multiple of 3"
+    (Invalid_argument "Reduction.instance: the item count must be a positive multiple of 3")
+    (fun () -> ignore (Reduction.instance ~items:[ 7; 8 ] ~target:24));
+  Alcotest.check_raises "sum mismatch"
+    (Invalid_argument "Reduction.instance: items sum to 23, expected m*T = 24") (fun () ->
+      ignore (Reduction.instance ~items:[ 7; 8; 8 ] ~target:24));
+  Alcotest.check_raises "range violated"
+    (Invalid_argument "Reduction.instance: item 12 out of (T/4, T/2) for T = 24") (fun () ->
+      ignore (Reduction.instance ~items:[ 12; 5; 7 ] ~target:24))
+
+let test_solver_on_solvable () =
+  match Reduction.solve_3partition solvable with
+  | None -> Alcotest.fail "solver missed a valid partition"
+  | Some triples ->
+      Alcotest.(check int) "two triples" 2 (List.length triples);
+      List.iter
+        (fun triple ->
+          let sum =
+            Array.fold_left (fun acc i -> acc + solvable.Reduction.items.(i)) 0 triple
+          in
+          Alcotest.(check int) "triple sums to T" 24 sum)
+        triples;
+      (* Indices form a partition of 0..5. *)
+      let all = List.concat_map Array.to_list triples in
+      Alcotest.(check (list int)) "indices partition" [ 0; 1; 2; 3; 4; 5 ]
+        (List.sort compare all)
+
+let test_solver_on_unsolvable () =
+  Alcotest.(check bool) "no partition exists" true
+    (Reduction.solve_3partition unsolvable = None)
+
+let test_random_solvable () =
+  let rng = Rng.create ~seed:1234L in
+  for m = 1 to 4 do
+    let inst = Reduction.random_solvable rng ~m ~target:100 in
+    Alcotest.(check int) "3m items" (3 * m) (Array.length inst.Reduction.items);
+    Alcotest.(check int) "m groups" m (Reduction.groups_count inst);
+    Alcotest.(check bool)
+      (Printf.sprintf "m=%d: generated instance is solvable" m)
+      true
+      (Reduction.solve_3partition inst <> None)
+  done
+
+let test_reduce_parameters () =
+  let reduced = Reduction.reduce solvable in
+  close "lambda = 1/(2T)" (1.0 /. 48.0) reduced.Reduction.lambda;
+  close "C = (ln 2 - 1/2)/lambda" ((log 2.0 -. 0.5) *. 48.0) reduced.Reduction.cost;
+  (* e^(lambda (T + C)) = 2, the pivotal identity of the proof. *)
+  close "e^(lambda(T+C)) = 2" 2.0
+    (exp (reduced.Reduction.lambda *. (24.0 +. reduced.Reduction.cost)));
+  (* K = m e^(lambda C)/lambda (e^(lambda(T+C)) - 1) = m e^(lambda C)/lambda. *)
+  close "K collapses to m e^(lambda C)/lambda"
+    (2.0 *. exp (reduced.Reduction.lambda *. reduced.Reduction.cost) /. reduced.Reduction.lambda)
+    reduced.Reduction.bound
+
+let test_forward_direction () =
+  (* A valid 3-partition yields a schedule of expected makespan K. *)
+  match Reduction.solve_3partition solvable with
+  | None -> Alcotest.fail "expected solvable"
+  | Some triples ->
+      let schedule, makespan = Reduction.schedule_of_partition solvable triples in
+      let reduced = Reduction.reduce solvable in
+      close ~tol:1e-9 "E = K exactly" reduced.Reduction.bound makespan;
+      Alcotest.(check int) "one checkpoint per triple" 2 (Schedule.checkpoint_count schedule)
+
+let test_optimal_matches_bound_when_solvable () =
+  let reduced = Reduction.reduce solvable in
+  let opt = Reduction.optimal_expected solvable in
+  close ~tol:1e-9 "optimum equals K" reduced.Reduction.bound opt
+
+let test_optimal_exceeds_bound_when_unsolvable () =
+  let reduced = Reduction.reduce unsolvable in
+  let opt = Reduction.optimal_expected unsolvable in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimum %.6f strictly above K %.6f" opt reduced.Reduction.bound)
+    true
+    (opt > reduced.Reduction.bound *. (1.0 +. 1e-9))
+
+let test_verify_both_directions () =
+  Alcotest.(check bool) "solvable instance verifies" true (Reduction.verify solvable);
+  Alcotest.(check bool) "unsolvable instance verifies" true (Reduction.verify unsolvable)
+
+let test_verify_random_instances () =
+  let rng = Rng.create ~seed:77L in
+  for i = 1 to 5 do
+    let m = 1 + (i mod 3) in
+    let inst = Reduction.random_solvable rng ~m ~target:60 in
+    Alcotest.(check bool)
+      (Printf.sprintf "random instance %d verifies" i)
+      true (Reduction.verify inst)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "instance validation" `Quick test_instance_validation;
+    Alcotest.test_case "solver finds valid partitions" `Quick test_solver_on_solvable;
+    Alcotest.test_case "solver rejects unsolvable" `Quick test_solver_on_unsolvable;
+    Alcotest.test_case "random solvable generator" `Quick test_random_solvable;
+    Alcotest.test_case "reduction parameters" `Quick test_reduce_parameters;
+    Alcotest.test_case "forward direction: partition -> E = K" `Quick test_forward_direction;
+    Alcotest.test_case "solvable: optimum = K" `Quick test_optimal_matches_bound_when_solvable;
+    Alcotest.test_case "unsolvable: optimum > K" `Quick
+      test_optimal_exceeds_bound_when_unsolvable;
+    Alcotest.test_case "verify on fixed instances" `Quick test_verify_both_directions;
+    Alcotest.test_case "verify on random instances" `Slow test_verify_random_instances;
+  ]

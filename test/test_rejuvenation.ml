@@ -1,0 +1,174 @@
+(* Tests for the full-rejuvenation renewal solver (the Bouguerra et al.
+   assumption the paper criticises). *)
+
+module Law = Ckpt_dist.Law
+module Task = Ckpt_dag.Task
+module Rng = Ckpt_prng.Rng
+module Welford = Ckpt_stats.Welford
+module Expected_time = Ckpt_core.Expected_time
+module Chain_problem = Ckpt_core.Chain_problem
+module Chain_dp = Ckpt_core.Chain_dp
+module Schedule = Ckpt_core.Schedule
+module Rejuvenation = Ckpt_core.Rejuvenation
+module Failure_stream = Ckpt_failures.Failure_stream
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let test_expected_min () =
+  (* Exponential closed form. *)
+  let expo = Law.exponential ~rate:0.2 in
+  close "exponential E[min]" ((1.0 -. exp (-0.2 *. 7.0)) /. 0.2)
+    (Law.expected_min expo ~upto:7.0);
+  (* Deterministic. *)
+  close "deterministic below" 3.0 (Law.expected_min (Law.deterministic 5.0) ~upto:3.0);
+  close "deterministic above" 5.0 (Law.expected_min (Law.deterministic 5.0) ~upto:9.0);
+  (* Numeric vs sampling for Weibull. *)
+  let weib = Law.weibull ~shape:0.7 ~scale:10.0 in
+  let rng = Rng.create ~seed:31173L in
+  let acc = Welford.create () in
+  for _ = 1 to 200_000 do
+    Welford.add acc (Float.min 6.0 (Law.sample weib rng))
+  done;
+  let numeric = Law.expected_min weib ~upto:6.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "weibull E[min] %.4f vs sampled %.4f" numeric (Welford.mean acc))
+    true
+    (Float.abs (numeric -. Welford.mean acc) < 0.02);
+  (* Monotone and bounded. *)
+  Alcotest.(check bool) "bounded by window" true (Law.expected_min weib ~upto:6.0 <= 6.0);
+  Alcotest.(check bool) "bounded by mean" true
+    (Law.expected_min weib ~upto:1e9 <= Law.mean weib *. 1.001)
+
+let test_exponential_reduces_to_prop1 () =
+  (* Memorylessness makes rejuvenation invisible: the renewal formula
+     must equal Proposition 1 exactly. *)
+  List.iter
+    (fun (w, c, d, r, l) ->
+      let prop1 =
+        Expected_time.expected_v ~work:w ~checkpoint:c ~downtime:d ~recovery:r ~lambda:l
+      in
+      let renewal =
+        Rejuvenation.segment_expected ~law:(Law.exponential ~rate:l) ~downtime:d
+          ~recovery:r ~work:w ~checkpoint:c
+      in
+      close ~tol:1e-9
+        (Printf.sprintf "Prop 1 recovered at W=%g lambda=%g" w l)
+        prop1 renewal)
+    [
+      (10.0, 1.0, 0.5, 2.0, 0.05); (100.0, 10.0, 0.0, 0.0, 0.002); (1.0, 0.0, 3.0, 7.0, 0.9);
+    ]
+
+let simulate_segment ~law ~downtime ~recovery ~work ~checkpoint ~runs ~seed =
+  let rng = Rng.create ~seed in
+  let acc = Welford.create () in
+  for run = 0 to runs - 1 do
+    let stream =
+      Failure_stream.renewal ~rejuvenation:Failure_stream.All_processors ~law ~processors:1
+        (Rng.substream rng (string_of_int run))
+    in
+    Welford.add acc
+      (Ckpt_sim.Sim_run.run_segments ~downtime
+         ~next_failure:(Failure_stream.next_after stream)
+         [ Ckpt_sim.Sim_run.segment ~work ~checkpoint ~recovery ])
+  done;
+  acc
+
+let test_weibull_segment_matches_simulation_without_dr () =
+  (* With D = R = 0 every retry starts exactly at a failure instant,
+     where the simulated renewal clock is fresh too: the assumption
+     world and the simulation coincide exactly. *)
+  let law = Law.weibull ~shape:0.7 ~scale:60.0 in
+  let work = 20.0 and checkpoint = 2.0 in
+  let analytic =
+    Rejuvenation.segment_expected ~law ~downtime:0.0 ~recovery:0.0 ~work ~checkpoint
+  in
+  let acc =
+    simulate_segment ~law ~downtime:0.0 ~recovery:0.0 ~work ~checkpoint ~runs:40_000
+      ~seed:424243L
+  in
+  let lo, hi = Welford.confidence_interval acc ~level:0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "analytic %.4f in CI [%.4f, %.4f]" analytic lo hi)
+    true
+    (lo <= analytic && analytic <= hi)
+
+let test_weibull_assumption_bias_direction () =
+  (* With D, R > 0 the assumption world restarts phases on a fresh
+     platform, while the real renewal clock has aged by D (+R) — and a
+     decreasing-hazard platform that has aged is LESS likely to fail, so
+     the fresh-clock assumption over-estimates the expectation. This
+     bias is exactly what E17 quantifies (the paper's criticism of the
+     [12] assumption). *)
+  let law = Law.weibull ~shape:0.7 ~scale:60.0 in
+  let work = 20.0 and checkpoint = 2.0 and downtime = 1.0 and recovery = 3.0 in
+  let analytic = Rejuvenation.segment_expected ~law ~downtime ~recovery ~work ~checkpoint in
+  let acc =
+    simulate_segment ~law ~downtime ~recovery ~work ~checkpoint ~runs:40_000 ~seed:424244L
+  in
+  let _, hi = Welford.confidence_interval acc ~level:0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "assumption pessimistic for k<1: %.4f > CI hi %.4f" analytic hi)
+    true (analytic > hi)
+
+let chain_tasks () =
+  Array.init 8 (fun i ->
+      Task.make ~id:i
+        ~work:(2.0 +. float_of_int (i mod 3))
+        ~checkpoint_cost:0.5 ~recovery_cost:0.6 ())
+
+let test_solve_matches_chain_dp_for_exponential () =
+  let tasks = chain_tasks () in
+  let lambda = 0.04 in
+  let renewal =
+    Rejuvenation.solve ~law:(Law.exponential ~rate:lambda) ~downtime:0.3
+      ~initial_recovery:0.4 tasks
+  in
+  let problem =
+    Chain_problem.make ~downtime:0.3 ~initial_recovery:0.4 ~lambda (Array.to_list tasks)
+  in
+  let dp = Chain_dp.solve problem in
+  close ~tol:1e-9 "same optimum" dp.Chain_dp.expected_makespan
+    renewal.Rejuvenation.expected_makespan;
+  Alcotest.(check bool) "same placement" true
+    (Schedule.checkpoint_indices dp.Chain_dp.schedule
+    = (let acc = ref [] in
+       Array.iteri (fun i b -> if b then acc := i :: !acc) renewal.Rejuvenation.placement;
+       List.rev !acc))
+
+let test_evaluate_consistency () =
+  let tasks = chain_tasks () in
+  let law = Law.weibull ~shape:0.8 ~scale:50.0 in
+  let solution = Rejuvenation.solve ~law ~downtime:0.3 ~initial_recovery:0.4 tasks in
+  close "solve value = evaluate of its placement"
+    (Rejuvenation.evaluate ~law ~downtime:0.3 ~initial_recovery:0.4 tasks
+       solution.Rejuvenation.placement)
+    solution.Rejuvenation.expected_makespan;
+  (* And it is at least as good as checkpoint-all / checkpoint-none. *)
+  let n = Array.length tasks in
+  let all = Array.make n true in
+  let none = Array.init n (fun i -> i = n - 1) in
+  List.iter
+    (fun placement ->
+      Alcotest.(check bool) "solve is minimal" true
+        (solution.Rejuvenation.expected_makespan
+         <= Rejuvenation.evaluate ~law ~downtime:0.3 ~initial_recovery:0.4 tasks placement
+            +. 1e-9))
+    [ all; none ]
+
+let suite =
+  [
+    Alcotest.test_case "expected_min" `Slow test_expected_min;
+    Alcotest.test_case "exponential reduces to Prop 1" `Quick
+      test_exponential_reduces_to_prop1;
+    Alcotest.test_case "weibull matches simulation (D = R = 0)" `Slow
+      test_weibull_segment_matches_simulation_without_dr;
+    Alcotest.test_case "assumption bias direction (k < 1)" `Slow
+      test_weibull_assumption_bias_direction;
+    Alcotest.test_case "solve = chain DP for exponential" `Quick
+      test_solve_matches_chain_dp_for_exponential;
+    Alcotest.test_case "evaluate consistency" `Quick test_evaluate_consistency;
+  ]

@@ -1,0 +1,91 @@
+(* Tests for group replication ([16]/[29]/[30] related-work thread). *)
+
+module Moldable = Ckpt_core.Moldable
+module Replication = Ckpt_core.Replication
+module Welford = Ckpt_stats.Welford
+module Rng = Ckpt_prng.Rng
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let mk ?(groups = 2) ?(proc_rate = 1e-5) () =
+  Replication.config ~downtime:5.0 ~total_work:100_000.0
+    ~checkpoint:(Moldable.Constant 60.0) ~proc_rate ~processors:512 ~groups ()
+
+let test_validation () =
+  Alcotest.check_raises "groups must divide processors"
+    (Invalid_argument "Replication.config: groups must divide processors") (fun () ->
+      ignore
+        (Replication.config ~total_work:1.0 ~checkpoint:(Moldable.Constant 1.0)
+           ~proc_rate:1e-5 ~processors:10 ~groups:3 ()));
+  Alcotest.(check int) "group size" 256 (Replication.group_size (mk ()))
+
+let test_success_probability () =
+  let t = mk () in
+  (* q per group, then 1 - (1-q)^2. *)
+  let work = 1000.0 /. 256.0 in
+  let q = exp (-.(256.0 *. 1e-5) *. (work +. 60.0)) in
+  close "two-group survival" (1.0 -. ((1.0 -. q) ** 2.0))
+    (Replication.round_success_probability t ~chunk_work:1000.0);
+  (* More groups, higher success probability per round. *)
+  let p1 = Replication.round_success_probability (mk ~groups:1 ()) ~chunk_work:1000.0 in
+  let p4 = Replication.round_success_probability (mk ~groups:4 ()) ~chunk_work:1000.0 in
+  Alcotest.(check bool) "g=4 beats g=1 per round" true (p4 > p1)
+
+let test_expected_chunk_formula () =
+  let t = mk () in
+  let chunk_work = 2000.0 in
+  let work = chunk_work /. 256.0 in
+  let ps = Replication.round_success_probability t ~chunk_work in
+  let reference =
+    ((work +. 60.0) /. ps) +. ((5.0 +. 60.0) *. ((1.0 /. ps) -. 1.0))
+  in
+  close "closed form" reference (Replication.expected_chunk t ~chunk_work)
+
+let test_simulation_matches_closed_form () =
+  let t = mk ~proc_rate:1e-4 () in
+  let chunks = 20 in
+  let analytic = Replication.expected_total t ~chunks in
+  let acc = Replication.simulate_total t ~chunks ~runs:20_000 (Rng.create ~seed:55L) in
+  let lo, hi = Welford.confidence_interval acc ~level:0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "analytic %.2f in CI [%.2f, %.2f]" analytic lo hi)
+    true
+    (lo <= analytic && analytic <= hi)
+
+let test_optimal_chunks_is_argmin_nearby () =
+  let t = mk ~proc_rate:1e-4 () in
+  let m_star, value = Replication.optimal_chunks t in
+  for m = Stdlib.max 1 (m_star - 3) to m_star + 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "m*=%d beats m=%d" m_star m)
+      true
+      (value <= Replication.expected_total t ~chunks:m +. 1e-9)
+  done
+
+let test_replication_crossover () =
+  (* At low failure rates duplication wastes half the machine; at very
+     high rates it wins. Compare g=1 vs g=2, each at its own optimal
+     chunking. *)
+  let total g proc_rate = snd (Replication.optimal_chunks (mk ~groups:g ~proc_rate ())) in
+  Alcotest.(check bool) "rare failures: no replication wins" true
+    (total 1 1e-6 < total 2 1e-6);
+  Alcotest.(check bool) "frequent failures: replication wins" true
+    (total 2 1e-4 < total 1 1e-4);
+  (* And more groups help further as failures intensify. *)
+  Alcotest.(check bool) "very frequent failures: g=4 beats g=2" true
+    (total 4 3e-4 < total 2 3e-4)
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "round success probability" `Quick test_success_probability;
+    Alcotest.test_case "expected chunk formula" `Quick test_expected_chunk_formula;
+    Alcotest.test_case "simulation matches closed form" `Slow
+      test_simulation_matches_closed_form;
+    Alcotest.test_case "optimal chunk count" `Quick test_optimal_chunks_is_argmin_nearby;
+    Alcotest.test_case "replication crossover" `Quick test_replication_crossover;
+  ]

@@ -1,0 +1,427 @@
+(* Tests for the discrete-event simulator: deterministic scripted-failure
+   scenarios with hand-computed makespans, equivalence between the two
+   executors, and Monte-Carlo agreement with Proposition 1. *)
+
+module Sim_run = Ckpt_sim.Sim_run
+module Monte_carlo = Ckpt_sim.Monte_carlo
+module Failure_stream = Ckpt_failures.Failure_stream
+module Task = Ckpt_dag.Task
+module Rng = Ckpt_prng.Rng
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let run_with_failures ?(downtime = 0.5) segments failure_times =
+  let stream = Failure_stream.of_times (Array.of_list failure_times) in
+  Sim_run.run_segments ~downtime ~next_failure:(Failure_stream.next_after stream) segments
+
+let seg = Sim_run.segment
+
+let test_no_failure () =
+  let segments = [ seg ~work:10.0 ~checkpoint:1.0 ~recovery:2.0;
+                   seg ~work:5.0 ~checkpoint:0.5 ~recovery:1.0 ] in
+  close "failure-free makespan is sum of work+checkpoints" 16.5
+    (run_with_failures segments [])
+
+let test_failure_during_work () =
+  (* w=10 c=1 r=2 D=0.5; failure at t=4:
+     downtime 4 -> 4.5, recovery 4.5 -> 6.5, re-run 6.5 + 11 = 17.5. *)
+  let segments = [ seg ~work:10.0 ~checkpoint:1.0 ~recovery:2.0 ] in
+  close "single mid-work failure" 17.5 (run_with_failures segments [ 4.0 ])
+
+let test_failure_during_checkpoint () =
+  (* Failure at t = 10.5, inside the checkpoint: same rollback as work.
+     10.5 -> down 11.0 -> recovered 13.0 -> +11 = 24.0. *)
+  let segments = [ seg ~work:10.0 ~checkpoint:1.0 ~recovery:2.0 ] in
+  close "failure during checkpoint" 24.0 (run_with_failures segments [ 10.5 ])
+
+let test_failure_during_recovery () =
+  (* Failure at 4, downtime to 4.5, recovery would end 6.5 but a second
+     failure strikes at 5.0: downtime to 5.5, recovery 5.5 -> 7.5,
+     re-run 7.5 + 11 = 18.5. *)
+  let segments = [ seg ~work:10.0 ~checkpoint:1.0 ~recovery:2.0 ] in
+  close "failure during recovery" 18.5 (run_with_failures segments [ 4.0; 5.0 ])
+
+let test_failure_during_downtime_ignored () =
+  (* Second failure at 4.2 lands inside the downtime window (4, 4.5]:
+     the paper's model says failures cannot strike during downtime, so
+     it is absorbed. 4.5 -> 6.5 recovery -> 17.5. *)
+  let segments = [ seg ~work:10.0 ~checkpoint:1.0 ~recovery:2.0 ] in
+  close "failure during downtime absorbed" 17.5 (run_with_failures segments [ 4.0; 4.2 ])
+
+let test_multi_segment_rollback_scope () =
+  (* Two segments; failure in the second rolls back only the second. *)
+  let segments = [ seg ~work:10.0 ~checkpoint:1.0 ~recovery:2.0;
+                   seg ~work:5.0 ~checkpoint:0.5 ~recovery:3.0 ] in
+  (* Segment 1 finishes at 11. Failure at 13 (inside segment 2):
+     down to 13.5, recovery (R of segment-2 start = 3) to 16.5,
+     re-run 5.5 -> 22.0. *)
+  close "rollback limited to current segment" 22.0 (run_with_failures segments [ 13.0 ])
+
+let test_boundary_failure_counts_as_success () =
+  (* A failure exactly at the completion instant does not interrupt. *)
+  let segments = [ seg ~work:10.0 ~checkpoint:1.0 ~recovery:2.0 ] in
+  close "boundary failure" 11.0 (run_with_failures segments [ 11.0 ])
+
+let test_zero_downtime () =
+  let segments = [ seg ~work:4.0 ~checkpoint:0.0 ~recovery:1.0 ] in
+  let stream = Failure_stream.of_times [| 2.0 |] in
+  let makespan =
+    Sim_run.run_segments ~downtime:0.0 ~next_failure:(Failure_stream.next_after stream)
+      segments
+  in
+  (* fail at 2 -> recovery 2 -> 3 -> re-run 3 + 4 = 7. *)
+  close "zero downtime" 7.0 makespan
+
+let chain_tasks works cs rs =
+  Array.of_list
+    (List.mapi
+       (fun i ((w, c), r) -> Task.make ~id:i ~work:w ~checkpoint_cost:c ~recovery_cost:r ())
+       (List.combine (List.combine works cs) rs))
+
+let test_chain_policy_matches_segments () =
+  (* Static placement: the two executors must agree exactly on any
+     replayed trace. *)
+  let tasks = chain_tasks [ 3.0; 4.0; 2.0; 5.0 ] [ 0.5; 0.4; 0.3; 0.2 ] [ 1.0; 1.1; 1.2; 1.3 ] in
+  let placement = [| false; true; false; true |] in
+  let failure_times = [ 2.0; 6.0; 9.5; 14.0; 15.0 ] in
+  let downtime = 0.25 in
+  let initial_recovery = 0.7 in
+  (* Build equivalent segments: tasks 0-1 (ckpt C=0.4, recovery R0), tasks 2-3. *)
+  let segments =
+    [ seg ~work:7.0 ~checkpoint:0.4 ~recovery:initial_recovery;
+      seg ~work:7.0 ~checkpoint:0.2 ~recovery:1.1 ]
+  in
+  let run_seg =
+    let stream = Failure_stream.of_times (Array.of_list failure_times) in
+    Sim_run.run_segments ~downtime ~next_failure:(Failure_stream.next_after stream) segments
+  in
+  let run_pol =
+    let stream = Failure_stream.of_times (Array.of_list failure_times) in
+    Sim_run.run_chain_policy ~initial_recovery ~downtime
+      ~decide:(fun ctx -> placement.(ctx.Sim_run.task_index))
+      ~next_failure:(Failure_stream.next_after stream)
+      tasks
+  in
+  close "policy executor equals segment executor" run_seg run_pol
+
+let qcheck_policy_equals_segments =
+  (* Randomised version of the same equivalence. *)
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let* works = list_size (return n) (float_range 0.5 5.0) in
+      let* cs = list_size (return n) (float_range 0.0 1.0) in
+      let* rs = list_size (return n) (float_range 0.0 2.0) in
+      let* mask = int_range 0 ((1 lsl n) - 1) in
+      let* failures = list_size (int_range 0 12) (float_range 0.1 40.0) in
+      let* downtime = float_range 0.0 1.0 in
+      return (works, cs, rs, mask, List.sort compare failures, downtime))
+  in
+  QCheck.Test.make ~name:"chain-policy executor equals segment executor" ~count:300
+    (QCheck.make gen) (fun (works, cs, rs, mask, failures, downtime) ->
+      let n = List.length works in
+      let tasks = chain_tasks works cs rs in
+      let placement = Array.init n (fun i -> i = n - 1 || mask land (1 lsl i) <> 0) in
+      let initial_recovery = 0.5 in
+      (* Segments from the placement. *)
+      let segments =
+        let rec build acc first i =
+          if i = n then List.rev acc
+          else if placement.(i) then begin
+            let work = ref 0.0 in
+            for k = first to i do
+              work := !work +. tasks.(k).Task.work
+            done;
+            let recovery =
+              if first = 0 then initial_recovery else tasks.(first - 1).Task.recovery_cost
+            in
+            build
+              (seg ~work:!work ~checkpoint:tasks.(i).Task.checkpoint_cost ~recovery :: acc)
+              (i + 1) (i + 1)
+          end
+          else build acc first (i + 1)
+        in
+        build [] 0 0
+      in
+      let failures = Array.of_list failures in
+      let a =
+        let stream = Failure_stream.of_times failures in
+        Sim_run.run_segments ~downtime ~next_failure:(Failure_stream.next_after stream)
+          segments
+      in
+      let b =
+        let stream = Failure_stream.of_times failures in
+        Sim_run.run_chain_policy ~initial_recovery ~downtime
+          ~decide:(fun ctx -> placement.(ctx.Sim_run.task_index))
+          ~next_failure:(Failure_stream.next_after stream)
+          tasks
+      in
+      Float.abs (a -. b) < 1e-9)
+
+let test_context_fields () =
+  (* Check the policy sees sensible context values on a scripted run. *)
+  let tasks = chain_tasks [ 3.0; 4.0; 2.0 ] [ 0.5; 0.5; 0.5 ] [ 1.0; 1.0; 1.0 ] in
+  let contexts = ref [] in
+  let stream = Failure_stream.of_times [| 4.0 |] in
+  let _ =
+    Sim_run.run_chain_policy ~initial_recovery:0.0 ~downtime:0.0
+      ~decide:(fun ctx ->
+        contexts := ctx :: !contexts;
+        true)
+      ~next_failure:(Failure_stream.next_after stream)
+      tasks
+  in
+  (* Execution: T0 done at 3 (ckpt -> 3.5), T1 would finish 7.5 but fails
+     at 4: downtime 0, recovery from T0 (R=1) 4 -> 5, T1 re-runs 5 -> 9.
+     The final task's checkpoint is forced, so [decide] is consulted for
+     T0 (at t=3, no failure yet) and T1 (at t=9) only. *)
+  match List.rev !contexts with
+  | [ c0; c1 ] ->
+      Alcotest.(check int) "first decision task" 0 c0.Sim_run.task_index;
+      Alcotest.(check int) "no checkpoint yet" (-1) c0.Sim_run.last_checkpoint;
+      close "first decision time" 3.0 c0.Sim_run.now;
+      close "work since ckpt" 3.0 c0.Sim_run.work_since_checkpoint;
+      close "since failure = now (no failure yet)" 3.0 c0.Sim_run.since_last_failure;
+      Alcotest.(check int) "second decision task" 1 c1.Sim_run.task_index;
+      Alcotest.(check int) "last checkpoint is T0" 0 c1.Sim_run.last_checkpoint;
+      close "second decision time" 9.0 c1.Sim_run.now;
+      close "since failure" 5.0 c1.Sim_run.since_last_failure;
+      close "work since ckpt" 4.0 c1.Sim_run.work_since_checkpoint
+  | contexts ->
+      Alcotest.fail (Printf.sprintf "expected 2 decisions, saw %d" (List.length contexts))
+
+let test_failure_count_matches_formula () =
+  (* E(failures) = (e^(lambda(W+C)) - 1) e^(lambda R): validate by
+     simulation through run_segments_stats. *)
+  let lambda = 0.06 and work = 8.0 and checkpoint = 1.0 and downtime = 0.3 and recovery = 2.0 in
+  let exact =
+    Ckpt_core.Expected_time.expected_failures
+      (Ckpt_core.Expected_time.make ~downtime ~recovery ~work ~checkpoint ~lambda ())
+  in
+  let rng = Rng.create ~seed:778L in
+  let acc = Ckpt_stats.Welford.create () in
+  for run = 0 to 149_999 do
+    let stream =
+      Failure_stream.poisson ~rate:lambda (Rng.substream rng (string_of_int run))
+    in
+    let stats =
+      Sim_run.run_segments_stats ~downtime
+        ~next_failure:(Failure_stream.next_after stream)
+        [ seg ~work ~checkpoint ~recovery ]
+    in
+    Ckpt_stats.Welford.add acc (float_of_int stats.Sim_run.failures)
+  done;
+  (* 99.9% interval: the test must not flake on an unlucky seed. *)
+  let lo, hi = Ckpt_stats.Welford.confidence_interval acc ~level:0.999 in
+  Alcotest.(check bool)
+    (Printf.sprintf "analytic %.4f in CI [%.4f, %.4f]" exact lo hi)
+    true
+    (lo <= exact && exact <= hi)
+
+let test_stats_consistency () =
+  (* run_segments and run_segments_stats agree on the makespan. *)
+  let segments = [ seg ~work:10.0 ~checkpoint:1.0 ~recovery:2.0 ] in
+  let a = run_with_failures segments [ 4.0; 5.0 ] in
+  let stream = Failure_stream.of_times [| 4.0; 5.0 |] in
+  let stats =
+    Sim_run.run_segments_stats ~downtime:0.5
+      ~next_failure:(Failure_stream.next_after stream)
+      segments
+  in
+  close "same makespan" a stats.Sim_run.makespan;
+  Alcotest.(check int) "both failures counted" 2 stats.Sim_run.failures
+
+let test_traced_events () =
+  (* Scripted scenario: w=10 c=1 r=2 D=0.5, failure at 4.
+     Expected log: work [0,4) interrupted; downtime [4,4.5); recovery
+     [4.5,6.5); work [6.5,16.5); checkpoint [16.5,17.5). *)
+  let stream = Failure_stream.of_times [| 4.0 |] in
+  let stats, events =
+    Sim_run.run_segments_traced ~downtime:0.5
+      ~next_failure:(Failure_stream.next_after stream)
+      [ seg ~work:10.0 ~checkpoint:1.0 ~recovery:2.0 ]
+  in
+  close "traced makespan" 17.5 stats.Sim_run.makespan;
+  Alcotest.(check int) "traced failures" 1 stats.Sim_run.failures;
+  let expect = [
+    (Sim_run.Work_phase, 0.0, 4.0, true);
+    (Sim_run.Downtime_phase, 4.0, 4.5, false);
+    (Sim_run.Recovery_phase, 4.5, 6.5, false);
+    (Sim_run.Work_phase, 6.5, 16.5, false);
+    (Sim_run.Checkpoint_phase, 16.5, 17.5, false);
+  ] in
+  Alcotest.(check int) "event count" (List.length expect) (List.length events);
+  List.iter2
+    (fun (phase, start, finish, interrupted) (e : Sim_run.event) ->
+      Alcotest.(check bool) "phase" true (e.Sim_run.phase = phase);
+      close "start" start e.Sim_run.start;
+      close "finish" finish e.Sim_run.finish;
+      Alcotest.(check bool) "interrupted flag" interrupted e.Sim_run.interrupted)
+    expect events
+
+let test_traced_consistency_with_plain () =
+  (* The traced runner must produce the same makespan/failures as the
+     plain one, and its events must tile the timeline without gaps. *)
+  let segments = [ seg ~work:5.0 ~checkpoint:0.5 ~recovery:1.0;
+                   seg ~work:3.0 ~checkpoint:0.2 ~recovery:0.8 ] in
+  let failures = [| 2.0; 6.5; 7.0; 8.9 |] in
+  let plain =
+    let stream = Failure_stream.of_times failures in
+    Sim_run.run_segments_stats ~downtime:0.3
+      ~next_failure:(Failure_stream.next_after stream) segments
+  in
+  let traced, events =
+    let stream = Failure_stream.of_times failures in
+    Sim_run.run_segments_traced ~downtime:0.3
+      ~next_failure:(Failure_stream.next_after stream) segments
+  in
+  close "same makespan" plain.Sim_run.makespan traced.Sim_run.makespan;
+  Alcotest.(check int) "same failures" plain.Sim_run.failures traced.Sim_run.failures;
+  let rec check_tiling previous_end events =
+    match events with
+    | [] -> close "events end at the makespan" traced.Sim_run.makespan previous_end
+    | (e : Sim_run.event) :: rest ->
+        close "no gap" previous_end e.Sim_run.start;
+        Alcotest.(check bool) "non-negative span" true (e.Sim_run.finish >= e.Sim_run.start);
+        check_tiling e.Sim_run.finish rest
+  in
+  check_tiling 0.0 events;
+  (* Rendering sanity. *)
+  let rendered = Ckpt_sim.Timeline.render ~width:60 events in
+  Alcotest.(check bool) "render has legend" true
+    (Astring_like.contains rendered "legend");
+  Alcotest.(check bool) "summary mentions recovery" true
+    (Astring_like.contains (Ckpt_sim.Timeline.summary events) "recovery")
+
+let test_monte_carlo_matches_prop1 () =
+  let lambda = 0.08 and work = 7.0 and checkpoint = 0.8 and downtime = 0.4 and recovery = 1.5 in
+  let exact =
+    Ckpt_core.Expected_time.expected_v ~work ~checkpoint ~downtime ~recovery ~lambda
+  in
+  let rng = Rng.create ~seed:909L in
+  let estimate =
+    Monte_carlo.estimate_segments ~model:(Monte_carlo.Poisson_rate lambda) ~downtime
+      ~runs:100_000 ~rng
+      [ seg ~work ~checkpoint ~recovery ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "closed form %.4f inside simulated CI [%f, %f]" exact
+       (fst estimate.Monte_carlo.ci99) (snd estimate.Monte_carlo.ci99))
+    true
+    (Monte_carlo.contains estimate.Monte_carlo.ci99 exact)
+
+let test_parallel_monte_carlo_agrees () =
+  let segments = [ seg ~work:7.0 ~checkpoint:0.7 ~recovery:1.2 ] in
+  let sequential =
+    Monte_carlo.estimate_segments ~model:(Monte_carlo.Poisson_rate 0.08) ~downtime:0.4
+      ~runs:20_000 ~rng:(Rng.create ~seed:4242L) segments
+  in
+  let parallel =
+    Monte_carlo.estimate_segments_parallel ~domains:4
+      ~model:(Monte_carlo.Poisson_rate 0.08) ~downtime:0.4 ~runs:20_000
+      ~rng:(Rng.create ~seed:4242L) segments
+  in
+  (* Identical sample sets; only merge order differs. *)
+  close ~tol:1e-9 "same mean" sequential.Monte_carlo.mean parallel.Monte_carlo.mean;
+  close ~tol:1e-6 "same stddev" sequential.Monte_carlo.stddev parallel.Monte_carlo.stddev;
+  close "same min" sequential.Monte_carlo.min parallel.Monte_carlo.min;
+  close "same max" sequential.Monte_carlo.max parallel.Monte_carlo.max
+
+let test_monte_carlo_reproducible () =
+  let rng1 = Rng.create ~seed:31337L and rng2 = Rng.create ~seed:31337L in
+  let segments = [ seg ~work:5.0 ~checkpoint:0.5 ~recovery:1.0 ] in
+  let e1 =
+    Monte_carlo.estimate_segments ~model:(Monte_carlo.Poisson_rate 0.1) ~downtime:0.2
+      ~runs:2000 ~rng:rng1 segments
+  in
+  let e2 =
+    Monte_carlo.estimate_segments ~model:(Monte_carlo.Poisson_rate 0.1) ~downtime:0.2
+      ~runs:2000 ~rng:rng2 segments
+  in
+  close "same seed, same estimate" e1.Monte_carlo.mean e2.Monte_carlo.mean
+
+let test_run_on_trace () =
+  let trace =
+    Ckpt_failures.Trace.of_times ~horizon:100.0 [| 4.0 |]
+  in
+  let makespan =
+    Monte_carlo.run_segments_on_trace ~downtime:0.5 ~trace
+      [ seg ~work:10.0 ~checkpoint:1.0 ~recovery:2.0 ]
+  in
+  close "trace-driven run" 17.5 makespan
+
+let test_livelock_guard () =
+  (* Deterministic failures every 1.0 with a 2.0 recovery: the work can
+     never complete; the guard must fire instead of spinning forever. *)
+  let rng = Rng.create ~seed:1L in
+  let stream =
+    Ckpt_failures.Failure_stream.renewal ~law:(Ckpt_dist.Law.deterministic 1.0)
+      ~processors:1 rng
+  in
+  let segments = [ seg ~work:5.0 ~checkpoint:0.0 ~recovery:2.0 ] in
+  match
+    Sim_run.run_segments ~max_failures:1000 ~downtime:0.0
+      ~next_failure:(Ckpt_failures.Failure_stream.next_after stream)
+      segments
+  with
+  | exception Sim_run.Livelock n -> Alcotest.(check bool) "counted" true (n > 1000)
+  | makespan -> Alcotest.fail (Printf.sprintf "expected livelock, finished at %g" makespan)
+
+let test_collect_distribution () =
+  let rng = Rng.create ~seed:808L in
+  let d =
+    Monte_carlo.collect_segments ~model:(Monte_carlo.Poisson_rate 0.05) ~downtime:0.5
+      ~runs:5000 ~rng
+      [ seg ~work:10.0 ~checkpoint:1.0 ~recovery:2.0 ]
+  in
+  Alcotest.(check int) "all samples kept" 5000 (Array.length d.Monte_carlo.samples);
+  (* Sorted. *)
+  Array.iteri
+    (fun i x ->
+      if i > 0 then
+        Alcotest.(check bool) "sorted" true (x >= d.Monte_carlo.samples.(i - 1)))
+    d.Monte_carlo.samples;
+  (* Quantiles bracket the mean; the minimum is the failure-free time. *)
+  close "min is the failure-free run" 11.0 d.Monte_carlo.samples.(0);
+  let median = Monte_carlo.quantile d 0.5 in
+  let p99 = Monte_carlo.quantile d 0.99 in
+  Alcotest.(check bool) "median < mean < p99 (right-skewed)" true
+    (median < d.Monte_carlo.estimate.Monte_carlo.mean
+     && d.Monte_carlo.estimate.Monte_carlo.mean < p99);
+  (* The estimate matches the sample array. *)
+  close ~tol:1e-9 "estimate mean = array mean"
+    (Ckpt_stats.Descriptive.mean d.Monte_carlo.samples)
+    d.Monte_carlo.estimate.Monte_carlo.mean
+
+let suite =
+  [
+    Alcotest.test_case "failure-free run" `Quick test_no_failure;
+    Alcotest.test_case "livelock guard" `Quick test_livelock_guard;
+    Alcotest.test_case "distribution collection" `Quick test_collect_distribution;
+    Alcotest.test_case "failure during work" `Quick test_failure_during_work;
+    Alcotest.test_case "failure during checkpoint" `Quick test_failure_during_checkpoint;
+    Alcotest.test_case "failure during recovery" `Quick test_failure_during_recovery;
+    Alcotest.test_case "failure during downtime ignored" `Quick
+      test_failure_during_downtime_ignored;
+    Alcotest.test_case "multi-segment rollback scope" `Quick test_multi_segment_rollback_scope;
+    Alcotest.test_case "boundary failure" `Quick test_boundary_failure_counts_as_success;
+    Alcotest.test_case "zero downtime" `Quick test_zero_downtime;
+    Alcotest.test_case "policy executor = segment executor" `Quick
+      test_chain_policy_matches_segments;
+    QCheck_alcotest.to_alcotest qcheck_policy_equals_segments;
+    Alcotest.test_case "policy context fields" `Quick test_context_fields;
+    Alcotest.test_case "failure count matches formula" `Slow
+      test_failure_count_matches_formula;
+    Alcotest.test_case "stats consistency" `Quick test_stats_consistency;
+    Alcotest.test_case "traced events (scripted)" `Quick test_traced_events;
+    Alcotest.test_case "traced run consistency" `Quick test_traced_consistency_with_plain;
+    Alcotest.test_case "Monte-Carlo matches Prop 1" `Slow test_monte_carlo_matches_prop1;
+    Alcotest.test_case "parallel = sequential Monte-Carlo" `Slow
+      test_parallel_monte_carlo_agrees;
+    Alcotest.test_case "Monte-Carlo reproducibility" `Quick test_monte_carlo_reproducible;
+    Alcotest.test_case "trace-driven run" `Quick test_run_on_trace;
+  ]

@@ -1,0 +1,209 @@
+(* Tests for the statistics substrate. *)
+
+module Kahan = Ckpt_stats.Kahan
+module Welford = Ckpt_stats.Welford
+module Descriptive = Ckpt_stats.Descriptive
+module Histogram = Ckpt_stats.Histogram
+module Regression = Ckpt_stats.Regression
+module Special = Ckpt_stats.Special
+module Normal = Ckpt_stats.Normal
+module Table = Ckpt_stats.Table
+module Ks_test = Ckpt_stats.Ks_test
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let test_kahan_compensation () =
+  (* 1 + 1e16 * eps-sized terms: naive summation loses them entirely. *)
+  let acc = Kahan.create () in
+  Kahan.add acc 1e16;
+  for _ = 1 to 10_000 do
+    Kahan.add acc 1.0
+  done;
+  Kahan.add acc (-1e16);
+  close "compensated sum survives magnitude swings" 10_000.0 (Kahan.sum acc)
+
+let test_kahan_batch () =
+  let arr = Array.init 1000 (fun i -> float_of_int (i + 1)) in
+  close "sum_array of 1..1000" 500_500.0 (Kahan.sum_array arr);
+  close "sum_list" 6.0 (Kahan.sum_list [ 1.0; 2.0; 3.0 ])
+
+let test_welford_known () =
+  let acc = Welford.create () in
+  List.iter (Welford.add acc) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  close "mean" 5.0 (Welford.mean acc);
+  close "unbiased variance" (32.0 /. 7.0) (Welford.variance acc);
+  Alcotest.(check int) "count" 8 (Welford.count acc);
+  close "min" 2.0 (Welford.min acc);
+  close "max" 9.0 (Welford.max acc)
+
+let test_welford_empty () =
+  let acc = Welford.create () in
+  Alcotest.check_raises "mean of empty raises"
+    (Invalid_argument "Welford.mean: empty accumulator") (fun () ->
+      ignore (Welford.mean acc))
+
+let test_welford_merge () =
+  let xs = Array.init 100 (fun i -> sin (float_of_int i)) in
+  let all = Welford.create () and left = Welford.create () and right = Welford.create () in
+  Array.iteri
+    (fun i x ->
+      Welford.add all x;
+      if i < 37 then Welford.add left x else Welford.add right x)
+    xs;
+  let merged = Welford.merge left right in
+  close "merged mean" (Welford.mean all) (Welford.mean merged);
+  close "merged variance" (Welford.variance all) (Welford.variance merged);
+  Alcotest.(check int) "merged count" 100 (Welford.count merged)
+
+let test_confidence_interval () =
+  let acc = Welford.create () in
+  for i = 1 to 1000 do
+    Welford.add acc (float_of_int (i mod 10))
+  done;
+  let lo, hi = Welford.confidence_interval acc ~level:0.99 in
+  let mean = Welford.mean acc in
+  Alcotest.(check bool) "interval brackets the mean" true (lo < mean && mean < hi);
+  let lo95, hi95 = Welford.confidence_interval acc ~level:0.95 in
+  Alcotest.(check bool) "99% interval wider than 95%" true (hi -. lo > hi95 -. lo95)
+
+let test_descriptive () =
+  let xs = [| 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 |] in
+  close "mean" 3.875 (Descriptive.mean xs);
+  close "median" 3.5 (Descriptive.median xs);
+  close "q0 is min" 1.0 (Descriptive.quantile xs 0.0);
+  close "q1 is max" 9.0 (Descriptive.quantile xs 1.0);
+  close "relative error" 0.1 (Descriptive.relative_error ~actual:11.0 ~reference:10.0);
+  close "relative error of 0/0" 0.0 (Descriptive.relative_error ~actual:0.0 ~reference:0.0)
+
+let test_histogram () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.6; -3.0; 42.0; 9.99 ];
+  Alcotest.(check int) "total counts everything" 6 (Histogram.total h);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Histogram.overflow h);
+  let counts = Histogram.counts h in
+  Alcotest.(check int) "bin 0" 1 counts.(0);
+  Alcotest.(check int) "bin 1" 2 counts.(1);
+  Alcotest.(check int) "bin 9" 1 counts.(9);
+  close "bin center" 0.5 (Histogram.bin_center h 0);
+  Alcotest.(check bool) "render mentions a bar" true
+    (String.length (Histogram.render h ~width:20) > 0)
+
+let test_regression_exact_line () =
+  let pts = Array.init 20 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 2.0)) in
+  let fit = Regression.linear pts in
+  close "slope" 3.0 fit.Regression.slope;
+  close "intercept" 2.0 fit.Regression.intercept;
+  close "r^2 of exact fit" 1.0 fit.Regression.r_squared
+
+let test_regression_loglog () =
+  let pts = Array.init 15 (fun i ->
+      let x = float_of_int (i + 2) in
+      (x, 5.0 *. x *. x))
+  in
+  let fit = Regression.log_log pts in
+  close ~tol:1e-9 "power-law slope" 2.0 fit.Regression.slope
+
+let test_special_gamma () =
+  close "lnGamma(5) = ln 24" (log 24.0) (Special.ln_gamma 5.0);
+  close "lnGamma(0.5) = ln sqrt(pi)" (0.5 *. log Float.pi) (Special.ln_gamma 0.5);
+  close ~tol:1e-10 "P(1, x) = 1 - exp(-x)" (1.0 -. exp (-1.7)) (Special.gamma_p 1.0 1.7);
+  close ~tol:1e-10 "Q = 1 - P" (1.0 -. Special.gamma_p 2.5 3.0) (Special.gamma_q 2.5 3.0)
+
+let test_special_erf () =
+  close ~tol:1e-7 "erf(1)" 0.8427007929497149 (Special.erf 1.0);
+  close ~tol:1e-7 "erf(-1) odd" (-0.8427007929497149) (Special.erf (-1.0));
+  close ~tol:1e-7 "erfc(0.5)" (1.0 -. Special.erf 0.5) (Special.erfc 0.5)
+
+let test_normal () =
+  close "cdf(0)" 0.5 (Normal.cdf 0.0);
+  close ~tol:1e-7 "cdf(1.96)" 0.9750021048517795 (Normal.cdf 1.96);
+  close ~tol:1e-6 "quantile(cdf(x)) = x" 0.7 (Normal.quantile (Normal.cdf 0.7));
+  close ~tol:1e-6 "quantile at tail" (-2.0) (Normal.quantile (Normal.cdf (-2.0)));
+  close ~tol:1e-8 "pdf(0)" (1.0 /. sqrt (2.0 *. Float.pi)) (Normal.pdf 0.0)
+
+let test_table_render () =
+  let t =
+    Table.create ~title:"demo" ~columns:[ ("name", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row t [ "alpha"; "1.5" ];
+  Table.add_rule t;
+  Table.add_row t [ "beta"; "22" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "contains title" true
+    (Astring_like.contains rendered "=== demo ===");
+  Alcotest.(check bool) "contains row" true (Astring_like.contains rendered "alpha");
+  Alcotest.check_raises "row arity enforced"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let test_ks_statistic_exact () =
+  (* Two points {0.25, 0.75} against Uniform[0,1]: the empirical CDF
+     steps at those points; D = max deviation = 0.25. *)
+  let d = Ks_test.statistic ~cdf:(fun x -> x) [| 0.25; 0.75 |] in
+  close "hand-computed statistic" 0.25 d
+
+let test_ks_accepts_true_distribution () =
+  let rng = Ckpt_prng.Rng.create ~seed:314L in
+  let xs = Array.init 5000 (fun _ -> Ckpt_prng.Rng.float rng) in
+  Alcotest.(check bool) "uniform sample accepted" true
+    (Ks_test.test ~cdf:(fun x -> Float.max 0.0 (Float.min 1.0 x)) xs)
+
+let test_ks_rejects_wrong_distribution () =
+  let rng = Ckpt_prng.Rng.create ~seed:315L in
+  (* Squared uniforms are not uniform. *)
+  let xs = Array.init 5000 (fun _ -> let u = Ckpt_prng.Rng.float rng in u *. u) in
+  Alcotest.(check bool) "biased sample rejected" false
+    (Ks_test.test ~cdf:(fun x -> Float.max 0.0 (Float.min 1.0 x)) xs)
+
+let test_ks_p_value_monotone () =
+  Alcotest.(check bool) "larger D, smaller p" true
+    (Ks_test.p_value ~n:1000 0.05 > Ks_test.p_value ~n:1000 0.10);
+  close ~tol:1e-9 "D = 0 has p = 1" 1.0 (Ks_test.p_value ~n:100 0.0)
+
+let qcheck_quantile_bounds =
+  QCheck.Test.make ~name:"quantile lies within data range" ~count:300
+    QCheck.(pair (array_of_size (Gen.int_range 1 40) (float_range (-100.) 100.))
+              (float_range 0.0 1.0))
+    (fun (xs, q) ->
+      let v = Descriptive.quantile xs q in
+      let mn = Array.fold_left Float.min infinity xs in
+      let mx = Array.fold_left Float.max neg_infinity xs in
+      v >= mn -. 1e-9 && v <= mx +. 1e-9)
+
+let qcheck_welford_matches_batch =
+  QCheck.Test.make ~name:"Welford mean equals batch mean" ~count:200
+    QCheck.(array_of_size (Gen.int_range 1 200) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let acc = Welford.create () in
+      Array.iter (Welford.add acc) xs;
+      Float.abs (Welford.mean acc -. Descriptive.mean xs)
+      <= 1e-9 *. Float.max 1.0 (Float.abs (Descriptive.mean xs)))
+
+let suite =
+  [
+    Alcotest.test_case "kahan compensation" `Quick test_kahan_compensation;
+    Alcotest.test_case "kahan batch sums" `Quick test_kahan_batch;
+    Alcotest.test_case "welford known values" `Quick test_welford_known;
+    Alcotest.test_case "welford empty raises" `Quick test_welford_empty;
+    Alcotest.test_case "welford merge" `Quick test_welford_merge;
+    Alcotest.test_case "confidence intervals" `Quick test_confidence_interval;
+    Alcotest.test_case "descriptive statistics" `Quick test_descriptive;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "regression exact line" `Quick test_regression_exact_line;
+    Alcotest.test_case "regression log-log power law" `Quick test_regression_loglog;
+    Alcotest.test_case "incomplete gamma" `Quick test_special_gamma;
+    Alcotest.test_case "error function" `Quick test_special_erf;
+    Alcotest.test_case "normal law helpers" `Quick test_normal;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "KS statistic" `Quick test_ks_statistic_exact;
+    Alcotest.test_case "KS accepts true law" `Quick test_ks_accepts_true_distribution;
+    Alcotest.test_case "KS rejects wrong law" `Quick test_ks_rejects_wrong_distribution;
+    Alcotest.test_case "KS p-value shape" `Quick test_ks_p_value_monotone;
+    QCheck_alcotest.to_alcotest qcheck_quantile_bounds;
+    QCheck_alcotest.to_alcotest qcheck_welford_matches_batch;
+  ]

@@ -1,0 +1,114 @@
+(* Tests for the platform first-failure distribution (superposition of
+   p per-processor laws — Section 6, first difficulty). *)
+
+module Law = Ckpt_dist.Law
+module Superposition = Ckpt_dist.Superposition
+module Rng = Ckpt_prng.Rng
+module Welford = Ckpt_stats.Welford
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%.12g - %.12g| < %g" name expected actual tol)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let test_exponential_superposition () =
+  (* min of p Exp(lambda) = Exp(p lambda). *)
+  let t = Superposition.fresh ~law:(Law.exponential ~rate:0.02) ~processors:10 in
+  let platform = Law.exponential ~rate:0.2 in
+  List.iter
+    (fun x ->
+      close ~tol:1e-12
+        (Printf.sprintf "survival at %g" x)
+        (Law.survival platform x) (Superposition.survival t x))
+    [ 0.5; 2.0; 10.0; 40.0 ];
+  close "mean = 1/(p lambda)" 5.0 (Superposition.mean t);
+  close ~tol:1e-12 "hazard = p lambda" 0.2 (Superposition.hazard t 3.0)
+
+let test_weibull_min_stability () =
+  (* min of p Weibull(k, s) = Weibull(k, s p^(-1/k)). *)
+  let shape = 0.7 and scale = 100.0 and p = 16 in
+  let t = Superposition.fresh ~law:(Law.weibull ~shape ~scale) ~processors:p in
+  match Superposition.as_weibull t with
+  | None -> Alcotest.fail "expected a Weibull platform law"
+  | Some platform ->
+      close ~tol:1e-9 "closed-form scale"
+        (scale *. (float_of_int p ** (-1.0 /. shape)))
+        (match platform with Law.Weibull { scale; _ } -> scale | _ -> nan);
+      List.iter
+        (fun x ->
+          close ~tol:1e-9
+            (Printf.sprintf "survival identity at %g" x)
+            (Law.survival platform x) (Superposition.survival t x))
+        [ 0.1; 1.0; 5.0; 25.0 ];
+      close ~tol:1e-6 "mean via closed form" (Law.mean platform) (Superposition.mean t)
+
+let test_aged_platform () =
+  (* With exponential processors, ages are irrelevant (memoryless). *)
+  let law = Law.exponential ~rate:0.1 in
+  let fresh = Superposition.fresh ~law ~processors:3 in
+  let aged = Superposition.aged ~law ~ages:[| 0.0; 17.0; 400.0 |] in
+  List.iter
+    (fun x ->
+      close ~tol:1e-12
+        (Printf.sprintf "memoryless: ages irrelevant at %g" x)
+        (Superposition.survival fresh x) (Superposition.survival aged x))
+    [ 1.0; 5.0; 20.0 ];
+  (* With Weibull shape < 1, older processors fail less: an aged
+     platform survives longer. *)
+  let weib = Law.weibull ~shape:0.5 ~scale:50.0 in
+  let fresh_w = Superposition.fresh ~law:weib ~processors:3 in
+  let aged_w = Superposition.aged ~law:weib ~ages:[| 100.0; 200.0; 300.0 |] in
+  Alcotest.(check bool) "aged weibull platform is hardier" true
+    (Superposition.survival aged_w 10.0 > Superposition.survival fresh_w 10.0)
+
+let test_quantile_inverts () =
+  let t =
+    Superposition.aged ~law:(Law.weibull ~shape:1.5 ~scale:30.0)
+      ~ages:[| 0.0; 5.0; 12.0; 40.0 |]
+  in
+  List.iter
+    (fun p ->
+      let x = Superposition.quantile t p in
+      close ~tol:1e-6 (Printf.sprintf "cdf(quantile %g)" p) p (Superposition.cdf t x))
+    [ 0.1; 0.5; 0.9; 0.99 ]
+
+let test_sampling_matches_survival () =
+  let t =
+    Superposition.aged ~law:(Law.weibull ~shape:0.7 ~scale:60.0) ~ages:[| 0.0; 30.0 |]
+  in
+  let rng = Rng.create ~seed:2121L in
+  let n = 100_000 in
+  let below_m = ref 0 in
+  let acc = Welford.create () in
+  let median = Superposition.quantile t 0.5 in
+  for _ = 1 to n do
+    let x = Superposition.sample t rng in
+    Welford.add acc x;
+    if x <= median then incr below_m
+  done;
+  close ~tol:0.01 "empirical median probability" 0.5
+    (float_of_int !below_m /. float_of_int n);
+  let mean = Superposition.mean t in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical mean %.3f vs numeric %.3f" (Welford.mean acc) mean)
+    true
+    (Float.abs (Welford.mean acc -. mean) < 0.02 *. mean)
+
+let test_validation () =
+  Alcotest.check_raises "processors > 0"
+    (Invalid_argument "Superposition.fresh: processors must be positive") (fun () ->
+      ignore (Superposition.fresh ~law:(Law.exponential ~rate:1.0) ~processors:0));
+  Alcotest.check_raises "ages non-negative"
+    (Invalid_argument "Superposition.aged: negative age") (fun () ->
+      ignore (Superposition.aged ~law:(Law.exponential ~rate:1.0) ~ages:[| -1.0 |]))
+
+let suite =
+  [
+    Alcotest.test_case "exponential superposition" `Quick test_exponential_superposition;
+    Alcotest.test_case "weibull min-stability" `Quick test_weibull_min_stability;
+    Alcotest.test_case "aged platforms" `Quick test_aged_platform;
+    Alcotest.test_case "quantile inverts cdf" `Quick test_quantile_inverts;
+    Alcotest.test_case "sampling matches survival" `Slow test_sampling_matches_survival;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]
