@@ -10,8 +10,14 @@
    the paper being theory-only, its "tables and figures" are the
    propositions validated by these experiments; see DESIGN.md section 4).
 
+   Part 3 — parallel Monte-Carlo scaling: estimate_segments at fixed
+   runs across 1/2/4/8 domains, verifying the bit-identical-estimates
+   guarantee and reporting the speedup.
+
    Run with:  dune exec bench/main.exe
    Quick CI:  BENCH_QUICK=1 dune exec bench/main.exe
+   Smoke:     dune exec bench/main.exe -- --smoke   (scaling section only,
+              reduced runs; exercises the domain pool on small CI runners)
 *)
 
 open Bechamel
@@ -184,17 +190,74 @@ let run_benchmarks () =
     rows;
   Ckpt_stats.Table.print table
 
-let () =
-  let quick = Sys.getenv_opt "BENCH_QUICK" <> None in
-  print_endline "================================================================";
-  print_endline " Part 1: micro-benchmarks";
-  print_endline "================================================================";
-  run_benchmarks ();
-  print_newline ();
-  print_endline "================================================================";
-  print_endline " Part 2: reproduction tables (experiments E1-E17)";
-  print_endline "================================================================";
-  let config = { Ckpt_experiments.Common.seed = 42L; quick } in
+(* Part 3: wall-clock scaling of the parallel Monte-Carlo engine. Also
+   asserts the determinism guarantee: every domain count must produce
+   the bit-identical estimate. *)
+let run_scaling ~runs =
+  let module Monte_carlo = Ckpt_sim.Monte_carlo in
+  let segments = [ Sim_run.segment ~work:100.0 ~checkpoint:5.0 ~recovery:5.0 ] in
+  let estimate domains =
+    let rng = Rng.create ~seed:20_260_806L in
+    let start = Unix.gettimeofday () in
+    let e =
+      Monte_carlo.estimate_segments ~domains ~model:(Monte_carlo.Poisson_rate 0.01)
+        ~downtime:1.0 ~runs ~rng segments
+    in
+    (Unix.gettimeofday () -. start, e)
+  in
+  let table =
+    Ckpt_stats.Table.create
+      ~title:
+        (Printf.sprintf "parallel Monte-Carlo scaling (estimate_segments, %d runs, %d cores)"
+           runs (Domain.recommended_domain_count ()))
+      ~columns:
+        [ ("domains", Ckpt_stats.Table.Right); ("wall time", Ckpt_stats.Table.Right);
+          ("speedup", Ckpt_stats.Table.Right); ("mean", Ckpt_stats.Table.Right);
+          ("bit-identical", Ckpt_stats.Table.Left) ]
+  in
+  let baseline_time = ref 0.0 in
+  let baseline_mean = ref nan in
   List.iter
-    (Ckpt_experiments.Registry.run_and_print config)
-    Ckpt_experiments.Registry.all
+    (fun domains ->
+      let time, e = estimate domains in
+      if domains = 1 then begin
+        baseline_time := time;
+        baseline_mean := e.Monte_carlo.mean
+      end;
+      let identical = Float.equal e.Monte_carlo.mean !baseline_mean in
+      if not identical then
+        Printf.eprintf "BUG: estimate at %d domains differs from 1-domain run\n" domains;
+      Ckpt_stats.Table.add_row table
+        [
+          string_of_int domains; Printf.sprintf "%.3f s" time;
+          Printf.sprintf "%.2fx" (!baseline_time /. time);
+          Printf.sprintf "%.6f" e.Monte_carlo.mean;
+          (if identical then "yes" else "NO");
+        ])
+    [ 1; 2; 4; 8 ];
+  Ckpt_stats.Table.print table
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let quick = smoke || Sys.getenv_opt "BENCH_QUICK" <> None in
+  if not smoke then begin
+    print_endline "================================================================";
+    print_endline " Part 1: micro-benchmarks";
+    print_endline "================================================================";
+    run_benchmarks ();
+    print_newline ();
+    print_endline "================================================================";
+    print_endline " Part 2: reproduction tables (experiments E1-E17)";
+    print_endline "================================================================";
+    let config =
+      { Ckpt_experiments.Common.seed = 42L; quick; domains = None; target_ci = None }
+    in
+    List.iter
+      (Ckpt_experiments.Registry.run_and_print config)
+      Ckpt_experiments.Registry.all;
+    print_newline ()
+  end;
+  print_endline "================================================================";
+  print_endline " Part 3: parallel Monte-Carlo scaling (1/2/4/8 domains)";
+  print_endline "================================================================";
+  run_scaling ~runs:(if quick then 10_000 else 100_000)

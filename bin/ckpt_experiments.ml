@@ -2,8 +2,10 @@
 
 open Cmdliner
 
-let run_experiments ids seed quick =
-  let config = { Ckpt_experiments.Common.seed = Int64.of_int seed; quick } in
+let run_experiments ids seed quick domains target_ci =
+  let config =
+    { Ckpt_experiments.Common.seed = Int64.of_int seed; quick; domains; target_ci }
+  in
   let experiments =
     match ids with
     | [] -> Ckpt_experiments.Registry.all
@@ -31,9 +33,23 @@ let quick =
   let doc = "Reduced replication counts (CI-sized run)." in
   Arg.(value & flag & info [ "q"; "quick" ] ~doc)
 
+let domains =
+  let doc =
+    "Domains of the parallel Monte-Carlo pool (default: up to 8, hardware permitting). \
+     Tables are bit-identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc)
+
+let target_ci =
+  let doc =
+    "Adaptive sampling for the simulation-backed experiments: sample until the relative \
+     99% CI half-width falls below $(docv) (replication counts become the initial round)."
+  in
+  Arg.(value & opt (some float) None & info [ "target-ci" ] ~docv:"REL" ~doc)
+
 let cmd =
   let doc = "regenerate the reproduction experiments of RR-7907" in
   let info = Cmd.info "ckpt-experiments" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const run_experiments $ ids $ seed $ quick)
+  Cmd.v info Term.(const run_experiments $ ids $ seed $ quick $ domains $ target_ci)
 
 let () = exit (Cmd.eval cmd)

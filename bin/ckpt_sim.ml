@@ -16,7 +16,8 @@ let parse_law spec =
       prerr_endline msg;
       exit 2
 
-let run work checkpoint recovery downtime law_spec processors runs seed timeline =
+let run work checkpoint recovery downtime law_spec processors runs seed timeline domains
+    target_ci =
   let law = parse_law law_spec in
   let platform = Platform.make ~downtime ~processors ~proc_law:law () in
   let rng = Ckpt_prng.Rng.create ~seed:(Int64.of_int seed) in
@@ -34,8 +35,8 @@ let run work checkpoint recovery downtime law_spec processors runs seed timeline
     print_string (Ckpt_sim.Timeline.render events)
   end;
   let estimate =
-    Monte_carlo.estimate_segments ~model:(Monte_carlo.Platform platform) ~downtime ~runs
-      ~rng
+    Monte_carlo.estimate_segments ?domains ?target_ci
+      ~model:(Monte_carlo.Platform platform) ~downtime ~runs ~rng
       [ Sim_run.segment ~work ~checkpoint ~recovery ]
   in
   Format.printf "platform: %s@." (Platform.to_string platform);
@@ -74,11 +75,25 @@ let timeline =
   Arg.(value & flag
        & info [ "timeline" ] ~doc:"Print the ASCII timeline of one sample run.")
 
+let domains =
+  let doc =
+    "Domains of the parallel Monte-Carlo pool (default: up to 8, hardware permitting). \
+     The estimate is bit-identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc)
+
+let target_ci =
+  let doc =
+    "Adaptive sampling: keep doubling the campaign (starting from --runs, capped at 64x) \
+     until the relative 99% CI half-width falls below $(docv), e.g. 0.001."
+  in
+  Arg.(value & opt (some float) None & info [ "target-ci" ] ~docv:"REL" ~doc)
+
 let cmd =
   let doc = "Monte-Carlo estimate of the expected checkpointed execution time" in
   let info = Cmd.info "ckpt-sim" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(const run $ work $ checkpoint $ recovery $ downtime $ law_spec $ processors
-          $ runs $ seed $ timeline)
+          $ runs $ seed $ timeline $ domains $ target_ci)
 
 let () = exit (Cmd.eval cmd)

@@ -35,18 +35,22 @@ let mrl_young ~law ~processors ~mean_checkpoint =
   if not (mean_checkpoint > 0.0) then
     invalid_arg "Nonmemoryless.mrl_young: mean_checkpoint must be positive";
   let mean = Law.mean law in
-  (* Quarter-decade age buckets, residual life integrated once each. *)
+  (* Quarter-decade age buckets, residual life integrated once each.
+     The cache is mutex-protected: the policy closure may be invoked
+     concurrently from several domains of the Monte-Carlo pool. *)
   let cache : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let lock = Mutex.create () in
   let bucket_of age = int_of_float (Float.round (4.0 *. log10 (Float.max age (mean *. 1e-6)))) in
   let residual age =
     let b = bucket_of age in
-    match Hashtbl.find_opt cache b with
-    | Some value -> value
-    | None ->
-        let representative = 10.0 ** (float_of_int b /. 4.0) in
-        let value = Law.mean_residual_life law ~elapsed:representative in
-        Hashtbl.add cache b value;
-        value
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt cache b with
+        | Some value -> value
+        | None ->
+            let representative = 10.0 ** (float_of_int b /. 4.0) in
+            let value = Law.mean_residual_life law ~elapsed:representative in
+            Hashtbl.add cache b value;
+            value)
   in
   fun (ctx : Sim_run.chain_context) ->
     let mrl = residual ctx.Sim_run.since_last_failure in
@@ -120,19 +124,25 @@ let hazard_dp ~law ~processors ~problem =
   let n = Array.length tasks in
   let downtime = problem.Chain_problem.downtime in
   (* Quarter-decade buckets of the effective rate; one DP table per
-     bucket, computed on demand. *)
+     bucket, computed on demand. Mutex-protected for the same reason as
+     [mrl_young]'s cache: policies run concurrently under the parallel
+     Monte-Carlo driver. *)
   let tables : (int, float array) Hashtbl.t = Hashtbl.create 16 in
+  let lock = Mutex.create () in
   let mean = Law.mean law in
   let bucket_of lambda_eff = int_of_float (Float.round (4.0 *. log10 lambda_eff)) in
   let lambda_of_bucket b = 10.0 ** (float_of_int b /. 4.0) in
   let table lambda_eff =
     let b = bucket_of lambda_eff in
-    match Hashtbl.find_opt tables b with
-    | Some t -> t
-    | None ->
-        let t = Chain_dp.dp_values (Chain_problem.with_lambda problem (lambda_of_bucket b)) in
-        Hashtbl.add tables b t;
-        t
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt tables b with
+        | Some t -> t
+        | None ->
+            let t =
+              Chain_dp.dp_values (Chain_problem.with_lambda problem (lambda_of_bucket b))
+            in
+            Hashtbl.add tables b t;
+            t)
   in
   fun (ctx : Sim_run.chain_context) ->
     let i = ctx.Sim_run.task_index in

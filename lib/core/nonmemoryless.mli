@@ -10,6 +10,9 @@
     points to (Bouguerra-Trystram-Wagner; Bougeret et al.). *)
 
 type policy = Ckpt_sim.Sim_run.chain_context -> bool
+(** All policies built here are thread-safe: they may be invoked
+    concurrently from several domains of the parallel Monte-Carlo
+    driver (the memoised ones protect their caches with a mutex). *)
 
 val static : Schedule.t -> policy
 (** Replay a fixed placement — e.g. the Exponential-optimal DP schedule

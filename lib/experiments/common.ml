@@ -5,9 +5,14 @@ let print_output output =
   | Table table -> Ckpt_stats.Table.print table
   | Figure text -> print_string text
 
-type config = { seed : int64; quick : bool }
+type config = {
+  seed : int64;
+  quick : bool;
+  domains : int option;
+  target_ci : float option;
+}
 
-let default = { seed = 42L; quick = false }
+let default = { seed = 42L; quick = false; domains = None; target_ci = None }
 
 let rng config label =
   Ckpt_prng.Rng.substream (Ckpt_prng.Rng.create ~seed:config.seed) label

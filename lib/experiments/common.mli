@@ -11,6 +11,15 @@ type config = {
   quick : bool;
       (** Reduced replication counts for CI-sized runs; the full
           configuration is used to produce EXPERIMENTS.md. *)
+  domains : int option;
+      (** Monte-Carlo domain-pool size; [None] lets the simulator pick
+          ({!Ckpt_sim.Parallel_exec.default_domains}). Tables are
+          bit-identical whatever the value. *)
+  target_ci : float option;
+      (** When set, the simulation-backed experiments sample adaptively
+          until the relative 99% CI half-width reaches this target
+          (replication counts then become minimums, see
+          {!Ckpt_sim.Monte_carlo}). *)
 }
 
 val default : config

@@ -40,8 +40,9 @@ let run config =
       in
       let rng = Common.rng config (Printf.sprintf "e1-row-%d" row) in
       let estimate =
-        Monte_carlo.estimate_segments ~model:(Monte_carlo.Poisson_rate lambda) ~downtime
-          ~runs ~rng
+        Monte_carlo.estimate_segments ?domains:config.Common.domains
+          ?target_ci:config.Common.target_ci
+          ~model:(Monte_carlo.Poisson_rate lambda) ~downtime ~runs ~rng
           [ Sim_run.segment ~work ~checkpoint ~recovery ]
       in
       let lo, hi = estimate.Monte_carlo.ci99 in

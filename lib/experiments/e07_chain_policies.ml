@@ -60,7 +60,9 @@ let run config =
     (fun (label, schedule) ->
       let analytic = Schedule.expected_makespan schedule in
       let estimate =
-        Monte_carlo.estimate_segments ~model:(Monte_carlo.Poisson_rate lambda)
+        Monte_carlo.estimate_segments ?domains:config.Common.domains
+          ?target_ci:config.Common.target_ci
+          ~model:(Monte_carlo.Poisson_rate lambda)
           ~downtime:0.5
           ~runs
           ~rng:(Common.rng config ("e7-sim-" ^ label))

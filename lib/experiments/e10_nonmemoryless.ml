@@ -61,7 +61,9 @@ let run config =
         List.map
           (fun (label, policy) ->
             let estimate =
-              Monte_carlo.estimate_chain_policy ~model:(Monte_carlo.Platform platform)
+              Monte_carlo.estimate_chain_policy ?domains:config.Common.domains
+                ?target_ci:config.Common.target_ci
+                ~model:(Monte_carlo.Platform platform)
                 ~downtime ~initial_recovery:problem.Chain_problem.initial_recovery ~runs
                 ~rng:(Common.rng config (Printf.sprintf "e10-%s-%s" law_label label))
                 ~decide:policy problem.Chain_problem.tasks

@@ -61,7 +61,9 @@ let run config =
       let platform = Platform.make ~downtime ~processors:1 ~proc_law:law () in
       let simulate placement label_suffix =
         let schedule = Schedule.make problem placement in
-        (Monte_carlo.estimate_chain_policy ~model:(Monte_carlo.Platform platform)
+        (Monte_carlo.estimate_chain_policy ?domains:config.Common.domains
+           ?target_ci:config.Common.target_ci
+           ~model:(Monte_carlo.Platform platform)
            ~downtime ~initial_recovery ~runs
            ~rng:(Common.rng config (Printf.sprintf "e17-%s-%s" label label_suffix))
            ~decide:(Nonmemoryless.static schedule) tasks)

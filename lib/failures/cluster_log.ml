@@ -39,7 +39,7 @@ let merged_times t =
   let all =
     Array.concat (Array.to_list (Array.map (fun node -> node.failure_times) t.nodes))
   in
-  Array.sort compare all;
+  Array.sort Float.compare all;
   all
 
 let to_trace t =

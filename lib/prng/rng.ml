@@ -8,6 +8,8 @@ let substream t label =
 
 let split t = { t with gen = Xoshiro256.split t.gen }
 
+let substream_run t run = substream t ("run-" ^ string_of_int run)
+
 let int64 t = Xoshiro256.next_int64 t.gen
 
 let float t =

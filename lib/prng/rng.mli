@@ -19,6 +19,14 @@ val split : t -> t
 (** [split t] returns a stream at [t]'s current position and advances
     [t] by 2^128 draws; successive splits never overlap. *)
 
+val substream_run : t -> int -> t
+(** [substream_run t r] is [substream t ("run-" ^ string_of_int r)]:
+    the canonical per-replication substream of the Monte-Carlo drivers.
+    Because the derivation depends only on [t]'s seed and on [r], the
+    sample set of a replication campaign is the same whether the run
+    indices are drawn sequentially or spread over domains — the
+    determinism anchor of {!Ckpt_sim.Parallel_exec}. *)
+
 val int64 : t -> int64
 (** Uniform raw 64-bit value. *)
 

@@ -43,79 +43,51 @@ let estimate_of_welford acc =
     max = Welford.max acc;
   }
 
-let replicate ~runs ~rng run_once =
+(* All estimators funnel here: fixed-runs or adaptive campaigns, both
+   executed by the deterministic domain pool. [runs] is the campaign
+   size (fixed mode) or the initial round (adaptive mode). *)
+let replicate ?domains ?target_ci ?max_runs ~runs ~rng sample =
   if runs <= 0 then invalid_arg "Monte_carlo: runs must be positive";
-  let acc = Welford.create () in
-  for run = 0 to runs - 1 do
-    let run_rng = Rng.substream rng (Printf.sprintf "run-%d" run) in
-    Welford.add acc (run_once run_rng)
-  done;
+  let seed = Rng.seed_of rng in
+  let acc =
+    match target_ci with
+    | None -> Parallel_exec.estimate ?domains ~runs ~seed sample
+    | Some target_ci ->
+        let max_runs = match max_runs with Some m -> m | None -> runs * 64 in
+        Parallel_exec.estimate_adaptive ?domains ~runs ~max_runs ~target_ci ~seed sample
+  in
   estimate_of_welford acc
 
-let estimate_segments ~model ~downtime ~runs ~rng segments =
-  replicate ~runs ~rng (fun run_rng ->
-      let stream = stream_of_model model run_rng in
-      Sim_run.run_segments ~downtime
-        ~next_failure:(Failure_stream.next_after stream)
-        segments)
+let segments_sample ~model ~downtime segments _run run_rng =
+  let stream = stream_of_model model run_rng in
+  Sim_run.run_segments ~downtime
+    ~next_failure:(Failure_stream.next_after stream)
+    segments
 
-let estimate_chain_policy ~model ~downtime ~initial_recovery ~runs ~rng ~decide tasks =
-  replicate ~runs ~rng (fun run_rng ->
+let estimate_segments ?domains ?target_ci ?max_runs ~model ~downtime ~runs ~rng segments =
+  replicate ?domains ?target_ci ?max_runs ~runs ~rng
+    (segments_sample ~model ~downtime segments)
+
+let estimate_segments_parallel ?domains ~model ~downtime ~runs ~rng segments =
+  estimate_segments ?domains ~model ~downtime ~runs ~rng segments
+
+let estimate_chain_policy ?domains ?target_ci ?max_runs ~model ~downtime
+    ~initial_recovery ~runs ~rng ~decide tasks =
+  replicate ?domains ?target_ci ?max_runs ~runs ~rng (fun _run run_rng ->
       let stream = stream_of_model model run_rng in
       Sim_run.run_chain_policy ~initial_recovery ~downtime ~decide
         ~next_failure:(Failure_stream.next_after stream)
         tasks)
 
-let estimate_segments_parallel ?domains ~model ~downtime ~runs ~rng segments =
-  if runs <= 0 then invalid_arg "Monte_carlo: runs must be positive";
-  let domains =
-    match domains with
-    | Some d when d >= 1 -> d
-    | Some _ -> invalid_arg "Monte_carlo.estimate_segments_parallel: domains must be >= 1"
-    | None -> Stdlib.min 8 (Domain.recommended_domain_count ())
-  in
-  let domains = Stdlib.min domains runs in
-  let seed = Rng.seed_of rng in
-  let worker d =
-    (* Each domain derives its runs' substreams from the shared seed, so
-       the union over domains is exactly the sequential sample set. *)
-    let root = Rng.create ~seed in
-    let acc = Welford.create () in
-    let run = ref d in
-    while !run < runs do
-      let run_rng = Rng.substream root (Printf.sprintf "run-%d" !run) in
-      let stream = stream_of_model model run_rng in
-      Welford.add acc
-        (Sim_run.run_segments ~downtime
-           ~next_failure:(Failure_stream.next_after stream)
-           segments);
-      run := !run + domains
-    done;
-    acc
-  in
-  let handles = List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
-  let local = worker 0 in
-  let merged = List.fold_left (fun acc h -> Welford.merge acc (Domain.join h)) local handles in
-  estimate_of_welford merged
-
 type distribution = { samples : float array; estimate : estimate }
 
-let collect_segments ~model ~downtime ~runs ~rng segments =
+let collect_segments ?domains ~model ~downtime ~runs ~rng segments =
   if runs <= 0 then invalid_arg "Monte_carlo.collect_segments: runs must be positive";
-  let acc = Welford.create () in
-  let samples =
-    Array.init runs (fun run ->
-        let run_rng = Rng.substream rng (Printf.sprintf "run-%d" run) in
-        let stream = stream_of_model model run_rng in
-        let makespan =
-          Sim_run.run_segments ~downtime
-            ~next_failure:(Failure_stream.next_after stream)
-            segments
-        in
-        Welford.add acc makespan;
-        makespan)
+  let samples, acc =
+    Parallel_exec.collect ?domains ~runs ~seed:(Rng.seed_of rng)
+      (segments_sample ~model ~downtime segments)
   in
-  Array.sort compare samples;
+  Array.sort Float.compare samples;
   { samples; estimate = estimate_of_welford acc }
 
 let quantile d q = Ckpt_stats.Descriptive.quantile d.samples q
@@ -124,17 +96,16 @@ let run_segments_on_trace ~downtime ~trace segments =
   let stream = Trace.to_stream trace in
   Sim_run.run_segments ~downtime ~next_failure:(Failure_stream.next_after stream) segments
 
-let estimate_chain_policy_on_logs ~downtime ~initial_recovery ~logs ~decide tasks =
+let estimate_chain_policy_on_logs ?domains ~downtime ~initial_recovery ~logs ~decide tasks =
   if logs = [] then invalid_arg "Monte_carlo.estimate_chain_policy_on_logs: no traces";
-  let acc = Welford.create () in
-  List.iter
-    (fun trace ->
-      let stream = Trace.to_stream trace in
-      let makespan =
+  let traces = Array.of_list logs in
+  (* Replay is deterministic per trace; the pool's substreams are unused. *)
+  let acc =
+    Parallel_exec.estimate ?domains ~runs:(Array.length traces) ~seed:0L
+      (fun run _rng ->
+        let stream = Trace.to_stream traces.(run) in
         Sim_run.run_chain_policy ~initial_recovery ~downtime ~decide
           ~next_failure:(Failure_stream.next_after stream)
-          tasks
-      in
-      Welford.add acc makespan)
-    logs;
+          tasks)
+  in
   estimate_of_welford acc

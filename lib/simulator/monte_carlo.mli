@@ -1,5 +1,25 @@
 (** Replication driver: estimate the expected makespan of a checkpointed
-    workload by repeated simulation, with confidence intervals. *)
+    workload by repeated simulation, with confidence intervals.
+
+    Every estimator executes on the {!Parallel_exec} domain pool. The
+    common optional knobs:
+
+    - [?domains] — pool size (default
+      {!Parallel_exec.default_domains}). Estimates are {e bit-identical}
+      for any domain count given the same seed: run [r] draws from the
+      substream ["run-r"] of the caller's [rng] seed regardless of which
+      domain executes it, and the reduction tree is fixed by the batch
+      grid, not by the pool.
+    - [?target_ci] — switches to adaptive sampling: [runs] becomes the
+      initial round, which is doubled until the 99% CI half-width falls
+      below [target_ci *. |mean|] or the cap is hit.
+    - [?max_runs] — hard cap for adaptive sampling (default
+      [64 * runs]; ignored without [target_ci]).
+
+    With [domains > 1] the simulation callbacks (notably
+    [estimate_chain_policy]'s [decide]) run concurrently on several
+    domains and must be thread-safe; the policies in
+    {!Ckpt_core.Nonmemoryless} are. *)
 
 type estimate = {
   mean : float;
@@ -23,6 +43,9 @@ type failure_model =
       (** Renewal processes with all-processor rejuvenation. *)
 
 val estimate_segments :
+  ?domains:int ->
+  ?target_ci:float ->
+  ?max_runs:int ->
   model:failure_model ->
   downtime:float ->
   runs:int ->
@@ -34,6 +57,9 @@ val estimate_segments :
     runs are reproducible and order-independent. *)
 
 val estimate_chain_policy :
+  ?domains:int ->
+  ?target_ci:float ->
+  ?max_runs:int ->
   model:failure_model ->
   downtime:float ->
   initial_recovery:float ->
@@ -42,7 +68,8 @@ val estimate_chain_policy :
   decide:(Sim_run.chain_context -> bool) ->
   Ckpt_dag.Task.t array ->
   estimate
-(** Same replication scheme for the policy-driven chain executor. *)
+(** Same replication scheme for the policy-driven chain executor.
+    [decide] must be thread-safe when [domains > 1]. *)
 
 val estimate_segments_parallel :
   ?domains:int ->
@@ -52,11 +79,8 @@ val estimate_segments_parallel :
   rng:Ckpt_prng.Rng.t ->
   Sim_run.segment list ->
   estimate
-(** Multicore version of {!estimate_segments} (OCaml 5 domains,
-    default: [Domain.recommended_domain_count], capped at 8). Run [r]
-    still draws from the substream ["run-r"], so the sample set is
-    {e identical} to the sequential driver's — only the Welford merge
-    order differs (statistically irrelevant, float-rounding level). *)
+(** @deprecated Alias of {!estimate_segments} — every estimator is now
+    parallel; kept for source compatibility. *)
 
 type distribution = {
   samples : float array;  (** Sorted makespan samples. *)
@@ -64,6 +88,7 @@ type distribution = {
 }
 
 val collect_segments :
+  ?domains:int ->
   model:failure_model ->
   downtime:float ->
   runs:int ->
@@ -72,7 +97,8 @@ val collect_segments :
   distribution
 (** Like {!estimate_segments} but keeps every sample, for tail analysis
     (checkpointing narrows the makespan distribution, not only its
-    mean — see the [tail_latency] example). *)
+    mean — see the [tail_latency] example). The sample array is
+    identical for any domain count. *)
 
 val quantile : distribution -> float -> float
 (** [quantile d q] with q in [0, 1]. *)
@@ -82,6 +108,7 @@ val run_segments_on_trace :
 (** One deterministic execution against a recorded trace. *)
 
 val estimate_chain_policy_on_logs :
+  ?domains:int ->
   downtime:float ->
   initial_recovery:float ->
   logs:Ckpt_failures.Trace.t list ->
@@ -89,4 +116,5 @@ val estimate_chain_policy_on_logs :
   Ckpt_dag.Task.t array ->
   estimate
 (** One execution per recorded trace (e.g. one per synthetic cluster-log
-    sample); the estimate aggregates across traces. *)
+    sample), replayed on the domain pool; the estimate aggregates across
+    traces. *)

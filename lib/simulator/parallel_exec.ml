@@ -1,0 +1,123 @@
+(* Chunked domain pool for Monte-Carlo replication campaigns.
+
+   Design constraints, in priority order:
+
+   1. Bit-identical estimates for any domain count. The run indices are
+      partitioned into fixed-size batches laid on an absolute grid; each
+      batch is reduced sequentially into its own Welford accumulator and
+      the batch accumulators are merged in batch-index order. Neither
+      the batch boundaries nor the merge order depend on how many
+      domains processed the batches, so the result of [estimate] is the
+      same float-for-float with 1 domain or 8. Run [r] always draws
+      from [Rng.substream_run root r] of a root rebuilt from the shared
+      seed, so the sample set itself is independent of the layout.
+   2. Exception safety. Every spawned domain is joined even when a
+      worker raises (e.g. [Sim_run.Livelock]); the first exception
+      observed is re-raised after the join, and a cancellation flag
+      stops the other workers from claiming further batches.
+   3. Load balance. Batches are claimed from a shared atomic counter
+      (work stealing), so a domain that drew expensive runs (many
+      failures) does not stall the others. *)
+
+module Rng = Ckpt_prng.Rng
+module Welford = Ckpt_stats.Welford
+
+let batch_size = 256
+
+let default_domains () = Stdlib.min 8 (Domain.recommended_domain_count ())
+
+let resolve_domains = function
+  | Some d when d >= 1 -> d
+  | Some _ -> invalid_arg "Parallel_exec: domains must be >= 1"
+  | None -> default_domains ()
+
+(* Run [worker 0] on the current domain and [worker 1 .. domains-1] on
+   spawned ones; join every spawned domain unconditionally and re-raise
+   the first exception observed (in domain order, local worker first). *)
+let spawn_join ~domains worker =
+  let handles =
+    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  let first = ref None in
+  let note e = if !first = None then first := Some e in
+  (try worker 0 with e -> note e);
+  List.iter (fun h -> try Domain.join h with e -> note e) handles;
+  match !first with Some e -> raise e | None -> ()
+
+let run_range ?domains ?store ~base ~runs ~seed sample =
+  if runs <= 0 then invalid_arg "Parallel_exec: runs must be positive";
+  let domains = Stdlib.min (resolve_domains domains) runs in
+  let batches = (runs + batch_size - 1) / batch_size in
+  let accs = Array.make batches None in
+  let next = Atomic.make 0 in
+  let cancelled = Atomic.make false in
+  let store = match store with None -> fun _ _ -> () | Some f -> f in
+  let worker _d =
+    (* Each domain rebuilds the root from the shared seed; substream
+       derivation reads only the seed, never the generator position. *)
+    let root = Rng.create ~seed in
+    let rec loop () =
+      if not (Atomic.get cancelled) then begin
+        let b = Atomic.fetch_and_add next 1 in
+        if b < batches then begin
+          let lo = base + (b * batch_size) in
+          let hi = Stdlib.min (base + runs) (lo + batch_size) in
+          let acc = Welford.create () in
+          (try
+             for r = lo to hi - 1 do
+               let x = sample r (Rng.substream_run root r) in
+               Welford.add acc x;
+               store r x
+             done
+           with e ->
+             Atomic.set cancelled true;
+             raise e);
+          accs.(b) <- Some acc;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  spawn_join ~domains worker;
+  Array.fold_left
+    (fun merged slot ->
+      match slot with Some acc -> Welford.merge merged acc | None -> merged)
+    (Welford.create ()) accs
+
+let estimate ?domains ~runs ~seed sample = run_range ?domains ~base:0 ~runs ~seed sample
+
+let collect ?domains ~runs ~seed sample =
+  if runs <= 0 then invalid_arg "Parallel_exec: runs must be positive";
+  let samples = Array.make runs 0.0 in
+  let acc =
+    run_range ?domains ~base:0 ~runs ~seed sample
+      ~store:(fun r x -> samples.(r) <- x)
+  in
+  (samples, acc)
+
+let ci99_half_width acc =
+  let lo, hi = Welford.confidence_interval acc ~level:0.99 in
+  (hi -. lo) /. 2.0
+
+let converged ~target_ci acc =
+  Welford.count acc >= 2
+  && ci99_half_width acc <= target_ci *. Float.abs (Welford.mean acc)
+
+let estimate_adaptive ?domains ~runs ~max_runs ~target_ci ~seed sample =
+  if runs <= 0 then invalid_arg "Parallel_exec: runs must be positive";
+  if max_runs < runs then invalid_arg "Parallel_exec: max_runs must be >= runs";
+  if not (target_ci > 0.0) then invalid_arg "Parallel_exec: target_ci must be positive";
+  let acc = ref (run_range ?domains ~base:0 ~runs ~seed sample) in
+  while (not (converged ~target_ci !acc)) && Welford.count !acc < max_runs do
+    (* Double the campaign each round: the CI half-width shrinks as
+       1/sqrt(n), so geometric growth overshoots the target by at most
+       sqrt(2) while keeping the number of rounds logarithmic. The
+       round boundaries depend only on the (deterministic) estimates,
+       never on the domain count, preserving property 1. *)
+    let total = Welford.count !acc in
+    let extra = Stdlib.min total (max_runs - total) in
+    let round = run_range ?domains ~base:total ~runs:extra ~seed sample in
+    acc := Welford.merge !acc round
+  done;
+  !acc

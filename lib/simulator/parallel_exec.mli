@@ -1,0 +1,73 @@
+(** Deterministic multicore execution of Monte-Carlo replication
+    campaigns (OCaml 5 domains).
+
+    A campaign of [runs] replications is partitioned into fixed-size
+    batches on an absolute run-index grid. A pool of domains claims
+    batches from a shared queue; run [r] draws its randomness from
+    {!Ckpt_prng.Rng.substream_run}[ root r] where [root] is rebuilt from
+    the shared [seed], and each batch is reduced into its own
+    {!Ckpt_stats.Welford} accumulator. Batch accumulators are merged in
+    batch-index order.
+
+    {b Determinism guarantee}: neither the sample set nor the reduction
+    tree depends on the number of domains, so every function below
+    returns bit-identical results for any [domains >= 1] given the same
+    [seed] and [runs] — the property [test/test_parallel.ml] checks for
+    domain counts 1, 2, 3 and 7.
+
+    {b Exception safety}: if any replication raises (e.g.
+    {!Sim_run.Livelock}), the remaining workers stop claiming batches,
+    every spawned domain is joined, and the first exception observed is
+    re-raised — no domain is ever leaked.
+
+    The [sample] callback runs concurrently on several domains: it must
+    not mutate shared state (closing over per-call state derived from
+    the provided {!Ckpt_prng.Rng.t} is the intended style). *)
+
+val batch_size : int
+(** Runs per batch (256). Part of the determinism contract: changing it
+    changes the reduction tree, hence the low-order bits of estimates. *)
+
+val default_domains : unit -> int
+(** [min 8 (Domain.recommended_domain_count ())]: the pool size used
+    when [?domains] is omitted. *)
+
+val estimate :
+  ?domains:int ->
+  runs:int ->
+  seed:int64 ->
+  (int -> Ckpt_prng.Rng.t -> float) ->
+  Ckpt_stats.Welford.t
+(** [estimate ~runs ~seed sample] reduces [sample r rng_r] for
+    [r = 0 .. runs-1] into one accumulator. Raises [Invalid_argument]
+    if [runs <= 0] or [domains < 1]. *)
+
+val collect :
+  ?domains:int ->
+  runs:int ->
+  seed:int64 ->
+  (int -> Ckpt_prng.Rng.t -> float) ->
+  float array * Ckpt_stats.Welford.t
+(** Like {!estimate} but also returns the samples, indexed by run (not
+    sorted); each slot is written by exactly one domain. *)
+
+val estimate_adaptive :
+  ?domains:int ->
+  runs:int ->
+  max_runs:int ->
+  target_ci:float ->
+  seed:int64 ->
+  (int -> Ckpt_prng.Rng.t -> float) ->
+  Ckpt_stats.Welford.t
+(** [estimate_adaptive ~runs ~max_runs ~target_ci ~seed sample] starts
+    with [runs] replications and doubles the campaign until the 99%
+    normal-approximation CI half-width falls to [target_ci *. |mean|]
+    (relative target) or the hard cap [max_runs] is reached, whichever
+    comes first. Extending a campaign reuses the same per-run
+    substreams, so the first [n] samples of a longer campaign are
+    exactly the samples of a shorter one; the convergence decisions
+    depend only on (deterministic) estimates and the final accumulator
+    is bit-identical for any domain count. A mean of exactly 0 never
+    meets a relative target and runs to the cap. Raises
+    [Invalid_argument] if [runs <= 0], [max_runs < runs] or
+    [target_ci <= 0]. *)

@@ -20,12 +20,19 @@ let quantile xs q =
   if n = 0 then invalid_arg "Descriptive.quantile: empty array";
   if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q out of [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
+  (* Float.compare is a total order with NaN below every number, so any
+     NaN in the input surfaces at index 0 — reject it there rather than
+     silently returning a NaN-interpolated order statistic. *)
+  if Float.is_nan sorted.(0) then invalid_arg "Descriptive.quantile: NaN in sample";
   let h = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor h) in
   let hi = Stdlib.min (lo + 1) (n - 1) in
   let frac = h -. float_of_int lo in
-  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  (* Exact order statistic when the index is integral: interpolating
+     with frac = 0 would turn an infinite neighbour into 0 * inf = NaN. *)
+  if frac = 0.0 then sorted.(lo)
+  else sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
 
 let median xs = quantile xs 0.5
 

@@ -10,7 +10,10 @@ val stddev : float array -> float
 
 val quantile : float array -> float -> float
 (** [quantile xs q] with [0 <= q <= 1]; linear interpolation between
-    order statistics (type-7, the R default). Does not mutate [xs]. *)
+    order statistics (type-7, the R default). Does not mutate [xs].
+    Raises [Invalid_argument] if [xs] contains a NaN: a quantile of
+    partially-ordered data is meaningless, and the old polymorphic sort
+    used to place NaNs arbitrarily and corrupt the result silently. *)
 
 val median : float array -> float
 

@@ -2,7 +2,10 @@ let statistic ~cdf xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Ks_test.statistic: empty sample";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
+  (* NaN sorts first under Float.compare's total order; reject it
+     rather than feeding it to [cdf]. *)
+  if Float.is_nan sorted.(0) then invalid_arg "Ks_test.statistic: NaN in sample";
   let d = ref 0.0 in
   let nf = float_of_int n in
   Array.iteri

@@ -5,7 +5,8 @@
 
 val statistic : cdf:(float -> float) -> float array -> float
 (** sup_x |F_empirical(x) − F(x)| over the sample points. The sample
-    need not be sorted; it must be non-empty. *)
+    need not be sorted; it must be non-empty and NaN-free
+    ([Invalid_argument] otherwise). *)
 
 val p_value : n:int -> float -> float
 (** Asymptotic two-sided p-value for a KS statistic from [n] samples

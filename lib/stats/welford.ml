@@ -38,9 +38,14 @@ let confidence_interval t ~level =
   let half = z *. std_error t in
   (mean t -. half, mean t +. half)
 
+let copy t = { n = t.n; mean = t.mean; m2 = t.m2; min_v = t.min_v; max_v = t.max_v }
+
+(* Both degenerate branches must return a fresh record: returning an
+   input aliased would let a later [add] on the merge result mutate the
+   argument behind the caller's back. *)
 let merge x y =
-  if x.n = 0 then { n = y.n; mean = y.mean; m2 = y.m2; min_v = y.min_v; max_v = y.max_v }
-  else if y.n = 0 then x
+  if x.n = 0 then copy y
+  else if y.n = 0 then copy x
   else begin
     let n = x.n + y.n in
     let delta = y.mean -. x.mean in

@@ -32,5 +32,10 @@ val confidence_interval : t -> level:float -> float * float
     for the mean at confidence [level] (e.g. 0.99). Valid for the large
     sample counts used by the Monte-Carlo experiments. *)
 
+val copy : t -> t
+(** Independent snapshot of an accumulator. *)
+
 val merge : t -> t -> t
-(** Combine two accumulators (Chan's parallel update). *)
+(** Combine two accumulators (Chan's parallel update). The result is
+    always a fresh accumulator, never an alias of an argument: mutating
+    it later cannot affect [x] or [y]. *)

@@ -7,6 +7,7 @@ let () =
       ("dag", Test_dag.suite);
       ("failures", Test_failures.suite);
       ("simulator", Test_sim.suite);
+      ("parallel", Test_parallel.suite);
       ("expected-time", Test_expected_time.suite);
       ("approximations", Test_approximations.suite);
       ("chain", Test_chain.suite);

@@ -59,6 +59,25 @@ let test_welford_merge () =
   close "merged variance" (Welford.variance all) (Welford.variance merged);
   Alcotest.(check int) "merged count" 100 (Welford.count merged)
 
+let test_welford_merge_no_aliasing () =
+  (* Regression: merge used to return [x] itself when [y] was empty, so
+     adding to the merge result silently mutated the input accumulator. *)
+  let x = Welford.create () in
+  List.iter (Welford.add x) [ 1.0; 2.0; 3.0 ];
+  let empty = Welford.create () in
+  let merged_right = Welford.merge x empty in
+  Welford.add merged_right 1000.0;
+  Alcotest.(check int) "x untouched after add to merge x empty" 3 (Welford.count x);
+  close "x mean untouched" 2.0 (Welford.mean x);
+  let merged_left = Welford.merge empty x in
+  Welford.add merged_left 1000.0;
+  Alcotest.(check int) "x untouched after add to merge empty x" 3 (Welford.count x);
+  Alcotest.(check int) "empty untouched" 0 (Welford.count empty);
+  (* copy is independent too. *)
+  let c = Welford.copy x in
+  Welford.add c 7.0;
+  Alcotest.(check int) "copy independent" 3 (Welford.count x)
+
 let test_confidence_interval () =
   let acc = Welford.create () in
   for i = 1 to 1000 do
@@ -78,6 +97,23 @@ let test_descriptive () =
   close "q1 is max" 9.0 (Descriptive.quantile xs 1.0);
   close "relative error" 0.1 (Descriptive.relative_error ~actual:11.0 ~reference:10.0);
   close "relative error of 0/0" 0.0 (Descriptive.relative_error ~actual:0.0 ~reference:0.0)
+
+let test_quantile_rejects_nan () =
+  (* NaN policy: quantiles of partially-ordered data are rejected rather
+     than silently corrupted (the old polymorphic sort placed NaNs
+     wherever the comparison happened to land them). *)
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Descriptive.quantile: NaN in sample") (fun () ->
+      ignore (Descriptive.quantile [| 1.0; Float.nan; 3.0 |] 0.5));
+  Alcotest.check_raises "all-NaN rejected"
+    (Invalid_argument "Descriptive.quantile: NaN in sample") (fun () ->
+      ignore (Descriptive.quantile [| Float.nan |] 0.0));
+  (* Infinities are ordered fine and stay legal. *)
+  close "infinities sort" 1.0
+    (Descriptive.quantile [| Float.infinity; 1.0; Float.neg_infinity |] 0.5);
+  Alcotest.check_raises "KS rejects NaN too"
+    (Invalid_argument "Ks_test.statistic: NaN in sample") (fun () ->
+      ignore (Ks_test.statistic ~cdf:(fun x -> x) [| 0.5; Float.nan |]))
 
 let test_histogram () =
   let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
@@ -191,6 +227,8 @@ let suite =
     Alcotest.test_case "welford known values" `Quick test_welford_known;
     Alcotest.test_case "welford empty raises" `Quick test_welford_empty;
     Alcotest.test_case "welford merge" `Quick test_welford_merge;
+    Alcotest.test_case "welford merge never aliases" `Quick test_welford_merge_no_aliasing;
+    Alcotest.test_case "quantile rejects NaN" `Quick test_quantile_rejects_nan;
     Alcotest.test_case "confidence intervals" `Quick test_confidence_interval;
     Alcotest.test_case "descriptive statistics" `Quick test_descriptive;
     Alcotest.test_case "histogram" `Quick test_histogram;
