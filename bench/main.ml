@@ -18,6 +18,9 @@
    Quick CI:  BENCH_QUICK=1 dune exec bench/main.exe
    Smoke:     dune exec bench/main.exe -- --smoke   (scaling section only,
               reduced runs; exercises the domain pool on small CI runners)
+   Both also take --metrics table|json (observability snapshot on exit;
+   json embeds it in a single object CI greps for the required keys)
+   and --trace FILE (Chrome trace_event; see docs/OBSERVABILITY.md).
 *)
 
 open Bechamel
@@ -198,12 +201,9 @@ let run_scaling ~runs =
   let segments = [ Sim_run.segment ~work:100.0 ~checkpoint:5.0 ~recovery:5.0 ] in
   let estimate domains =
     let rng = Rng.create ~seed:20_260_806L in
-    let start = Unix.gettimeofday () in
-    let e =
-      Monte_carlo.estimate_segments ~domains ~model:(Monte_carlo.Poisson_rate 0.01)
-        ~downtime:1.0 ~runs ~rng segments
-    in
-    (Unix.gettimeofday () -. start, e)
+    Ckpt_obs.Clock.time (fun () ->
+        Monte_carlo.estimate_segments ~domains ~model:(Monte_carlo.Poisson_rate 0.01)
+          ~downtime:1.0 ~runs ~rng segments)
   in
   let table =
     Ckpt_stats.Table.create
@@ -237,9 +237,29 @@ let run_scaling ~runs =
     [ 1; 2; 4; 8 ];
   Ckpt_stats.Table.print table
 
+(* The bench is not a cmdliner tool, so the observability flags are
+   scanned from argv by hand: --metrics table|json and --trace FILE. *)
+let arg_value name =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let quick = smoke || Sys.getenv_opt "BENCH_QUICK" <> None in
+  let metrics_fmt =
+    match arg_value "--metrics" with
+    | None -> None
+    | Some "table" -> Some `Table
+    | Some "json" -> Some `Json
+    | Some other ->
+        Printf.eprintf "unknown --metrics format %S (use table or json)\n" other;
+        exit 2
+  in
+  Option.iter Ckpt_obs.Sink.install_trace (arg_value "--trace");
   if not smoke then begin
     print_endline "================================================================";
     print_endline " Part 1: micro-benchmarks";
@@ -260,4 +280,17 @@ let () =
   print_endline "================================================================";
   print_endline " Part 3: parallel Monte-Carlo scaling (1/2/4/8 domains)";
   print_endline "================================================================";
-  run_scaling ~runs:(if quick then 10_000 else 100_000)
+  let runs = if quick then 10_000 else 100_000 in
+  run_scaling ~runs;
+  (match metrics_fmt with
+  | None -> ()
+  | Some `Table ->
+      print_newline ();
+      print_string (Ckpt_obs.Metrics.render_table (Ckpt_obs.Metrics.snapshot ()))
+  | Some `Json ->
+      (* One line, with the snapshot embedded next to the bench config so
+         CI can grep a single JSON object for the required keys. *)
+      Printf.printf "{\"bench\":{\"smoke\":%b,\"quick\":%b,\"scaling_runs\":%d},%s}\n"
+        smoke quick runs
+        (Ckpt_obs.Metrics.to_json_fields (Ckpt_obs.Metrics.snapshot ())));
+  Ckpt_obs.Sink.flush ()

@@ -7,15 +7,18 @@ module Chain_spec = Ckpt_core.Chain_spec
 module Chain_dp = Ckpt_core.Chain_dp
 module Schedule = Ckpt_core.Schedule
 module Table = Ckpt_stats.Table
+module Obs_cli = Ckpt_obs_cli.Obs_cli
 
-let run_chain spec_path lambda_override compare =
+let run_chain spec_path lambda_override compare obs_flush =
   let problem =
     try Chain_spec.parse_file_with_lambda ?lambda:lambda_override spec_path
     with Chain_spec.Parse_error msg ->
       prerr_endline msg;
       exit 2
   in
-  let solution = Chain_dp.solve problem in
+  (* The memoized Algorithm 1 transcription, so --metrics reports real
+     dp.memo hit rates alongside the placement. *)
+  let solution = Chain_dp.solve_memoized problem in
   Printf.printf "chain: %d tasks, total work %g, lambda %g, D %g, R0 %g\n"
     (Chain_problem.size problem) (Chain_problem.total_work problem)
     problem.Chain_problem.lambda problem.Chain_problem.downtime
@@ -46,7 +49,8 @@ let run_chain spec_path lambda_override compare =
         ("Daly period", Schedule.daly problem);
       ];
     Table.print t
-  end
+  end;
+  obs_flush ()
 
 let spec_path =
   let doc = "Chain specification file." in
@@ -63,6 +67,6 @@ let compare =
 let cmd =
   let doc = "optimal checkpoint placement for a linear chain (RR-7907, Algorithm 1)" in
   let info = Cmd.info "ckpt-chain" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const run_chain $ spec_path $ lambda_override $ compare)
+  Cmd.v info Term.(const run_chain $ spec_path $ lambda_override $ compare $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

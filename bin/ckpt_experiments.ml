@@ -1,8 +1,9 @@
 (* CLI runner for the E1-E10 reproduction experiments. *)
 
 open Cmdliner
+module Obs_cli = Ckpt_obs_cli.Obs_cli
 
-let run_experiments ids seed quick domains target_ci =
+let run_experiments ids seed quick domains target_ci obs_flush =
   let config =
     { Ckpt_experiments.Common.seed = Int64.of_int seed; quick; domains; target_ci }
   in
@@ -19,7 +20,8 @@ let run_experiments ids seed quick domains target_ci =
                 exit 2)
           ids
   in
-  List.iter (Ckpt_experiments.Registry.run_and_print config) experiments
+  List.iter (Ckpt_experiments.Registry.run_and_print config) experiments;
+  obs_flush ()
 
 let ids =
   let doc = "Experiments to run (E1..E17). Runs all when omitted." in
@@ -50,6 +52,7 @@ let target_ci =
 let cmd =
   let doc = "regenerate the reproduction experiments of RR-7907" in
   let info = Cmd.info "ckpt-experiments" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const run_experiments $ ids $ seed $ quick $ domains $ target_ci)
+  Cmd.v info
+    Term.(const run_experiments $ ids $ seed $ quick $ domains $ target_ci $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

@@ -8,6 +8,7 @@ module Platform = Ckpt_failures.Platform
 module Monte_carlo = Ckpt_sim.Monte_carlo
 module Sim_run = Ckpt_sim.Sim_run
 module Expected_time = Ckpt_core.Expected_time
+module Obs_cli = Ckpt_obs_cli.Obs_cli
 
 let parse_law spec =
   match Ckpt_dist.Law_spec.parse spec with
@@ -17,7 +18,7 @@ let parse_law spec =
       exit 2
 
 let run work checkpoint recovery downtime law_spec processors runs seed timeline domains
-    target_ci =
+    target_ci obs_flush =
   let law = parse_law law_spec in
   let platform = Platform.make ~downtime ~processors ~proc_law:law () in
   let rng = Ckpt_prng.Rng.create ~seed:(Int64.of_int seed) in
@@ -49,7 +50,8 @@ let run work checkpoint recovery downtime law_spec processors runs seed timeline
         (if Monte_carlo.contains estimate.Monte_carlo.ci99 exact then
            "inside the 99% CI"
          else "OUTSIDE the 99% CI")
-  | _ -> Format.printf "(no closed form for this law; see RR-7907 Section 6)@.")
+  | _ -> Format.printf "(no closed form for this law; see RR-7907 Section 6)@.");
+  obs_flush ()
 
 let farg name doc default =
   Arg.(value & opt float default & info [ name ] ~docv:(String.uppercase_ascii name) ~doc)
@@ -94,6 +96,6 @@ let cmd =
   let info = Cmd.info "ckpt-sim" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(const run $ work $ checkpoint $ recovery $ downtime $ law_spec $ processors
-          $ runs $ seed $ timeline $ domains $ target_ci)
+          $ runs $ seed $ timeline $ domains $ target_ci $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

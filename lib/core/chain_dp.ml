@@ -1,5 +1,15 @@
 type solution = { expected_makespan : float; schedule : Schedule.t }
 
+module Metrics = Ckpt_obs.Metrics
+
+(* Solver metrics: totals are deterministic for a given problem (and,
+   under the parallel Monte-Carlo pool, for a given seed) whatever the
+   domain count — integer counters merge commutatively. *)
+let m_memo_hits = Metrics.counter "dp.memo_hits"
+let m_memo_misses = Metrics.counter "dp.memo_misses"
+let m_states = Metrics.counter "dp.states_expanded"
+let m_transitions = Metrics.counter "dp.transitions"
+
 (* Shared post-processing: turn a table of "end of first segment"
    choices into a Schedule. *)
 let schedule_of_choices problem choices =
@@ -22,6 +32,8 @@ let solve problem =
   let value = Array.make (n + 1) 0.0 in
   let choice = Array.make n 0 in
   for x = n - 1 downto 0 do
+    Metrics.incr m_states;
+    Metrics.incr ~by:(n - x) m_transitions;
     let best = ref infinity and best_j = ref x in
     for j = x to n - 1 do
       let cur = Chain_problem.segment_expected problem ~first:x ~last:j +. value.(j + 1) in
@@ -44,8 +56,13 @@ let solve_memoized problem =
   let memo : (float * int) option array = Array.make n None in
   let rec dpmakespan x =
     match memo.(x) with
-    | Some result -> result
+    | Some result ->
+        Metrics.incr m_memo_hits;
+        result
     | None ->
+        Metrics.incr m_memo_misses;
+        Metrics.incr m_states;
+        Metrics.incr ~by:(Stdlib.max 0 (n - 1 - x)) m_transitions;
         let result =
           if x = n - 1 then (Chain_problem.segment_expected problem ~first:x ~last:x, x)
           else begin
@@ -75,6 +92,8 @@ let dp_values problem =
   let n = Chain_problem.size problem in
   let value = Array.make (n + 1) 0.0 in
   for x = n - 1 downto 0 do
+    Metrics.incr m_states;
+    Metrics.incr ~by:(n - x) m_transitions;
     let best = ref infinity in
     for j = x to n - 1 do
       let cur = Chain_problem.segment_expected problem ~first:x ~last:j +. value.(j + 1) in
@@ -90,8 +109,10 @@ let solve_bounded problem ~max_segment =
   let value = Array.make (n + 1) 0.0 in
   let choice = Array.make n 0 in
   for x = n - 1 downto 0 do
+    Metrics.incr m_states;
     let best = ref infinity and best_j = ref x in
     let last = Stdlib.min (n - 1) (x + max_segment - 1) in
+    Metrics.incr ~by:(last - x + 1) m_transitions;
     for j = x to last do
       let cur = Chain_problem.segment_expected problem ~first:x ~last:j +. value.(j + 1) in
       if cur < !best then begin
@@ -113,6 +134,8 @@ let budget_tables problem max_k =
   value.(0).(n) <- 0.0;
   for k = 1 to max_k do
     for x = n - 1 downto 0 do
+      Metrics.incr m_states;
+      Metrics.incr ~by:(n - x) m_transitions;
       let best = ref infinity and best_j = ref (-1) in
       for j = x to n - 1 do
         let rest = value.(k - 1).(j + 1) in

@@ -1,8 +1,42 @@
 module Law = Ckpt_dist.Law
 module Task = Ckpt_dag.Task
 module Sim_run = Ckpt_sim.Sim_run
+module Metrics = Ckpt_obs.Metrics
 
 type policy = Sim_run.chain_context -> bool
+
+(* Shared accounting for the memoised policy caches (mrl_young buckets,
+   hazard_dp DP tables). The atomics aggregate across every live policy
+   closure; [reset_cache_stats] zeroes them at campaign boundaries so
+   consecutive estimator calls don't bleed together. The Ckpt_obs
+   counters feed the --metrics snapshot: totals are deterministic for a
+   fixed seed because each bucket misses exactly once (under the cache
+   mutex) and the number of lookups is fixed by the campaign. *)
+type cache_stats = { hits : int; misses : int; size : int }
+
+let stat_hits = Atomic.make 0
+let stat_misses = Atomic.make 0
+let stat_size = Atomic.make 0
+let m_cache_hits = Metrics.counter "policy.cache_hits"
+let m_cache_misses = Metrics.counter "policy.cache_misses"
+
+let cache_stats () =
+  { hits = Atomic.get stat_hits; misses = Atomic.get stat_misses;
+    size = Atomic.get stat_size }
+
+let reset_cache_stats () =
+  Atomic.set stat_hits 0;
+  Atomic.set stat_misses 0;
+  Atomic.set stat_size 0
+
+let note_cache_hit () =
+  Atomic.incr stat_hits;
+  Metrics.incr m_cache_hits
+
+let note_cache_miss () =
+  Atomic.incr stat_misses;
+  Atomic.incr stat_size;
+  Metrics.incr m_cache_misses
 
 let static schedule ctx = Schedule.decide_of schedule ctx
 
@@ -45,8 +79,11 @@ let mrl_young ~law ~processors ~mean_checkpoint =
     let b = bucket_of age in
     Mutex.protect lock (fun () ->
         match Hashtbl.find_opt cache b with
-        | Some value -> value
+        | Some value ->
+            note_cache_hit ();
+            value
         | None ->
+            note_cache_miss ();
             let representative = 10.0 ** (float_of_int b /. 4.0) in
             let value = Law.mean_residual_life law ~elapsed:representative in
             Hashtbl.add cache b value;
@@ -136,8 +173,11 @@ let hazard_dp ~law ~processors ~problem =
     let b = bucket_of lambda_eff in
     Mutex.protect lock (fun () ->
         match Hashtbl.find_opt tables b with
-        | Some t -> t
+        | Some t ->
+            note_cache_hit ();
+            t
         | None ->
+            note_cache_miss ();
             let t =
               Chain_dp.dp_values (Chain_problem.with_lambda problem (lambda_of_bucket b))
             in

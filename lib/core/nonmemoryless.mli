@@ -14,6 +14,24 @@ type policy = Ckpt_sim.Sim_run.chain_context -> bool
     concurrently from several domains of the parallel Monte-Carlo
     driver (the memoised ones protect their caches with a mutex). *)
 
+type cache_stats = {
+  hits : int;  (** Lookups served from a memoised bucket. *)
+  misses : int;  (** Lookups that computed and inserted a bucket. *)
+  size : int;  (** Entries inserted since the last reset. *)
+}
+
+val cache_stats : unit -> cache_stats
+(** Aggregate statistics of the memoised policy caches ({!mrl_young}'s
+    residual-life buckets and {!hazard_dp}'s per-bucket DP tables),
+    summed across every policy created since the last reset. Also
+    exported as the [policy.cache_hits] / [policy.cache_misses]
+    observability counters. *)
+
+val reset_cache_stats : unit -> unit
+(** Zero the counters. Call between estimation campaigns so metrics
+    from consecutive estimator calls don't bleed together (the
+    experiment harness does this before each campaign). *)
+
 val static : Schedule.t -> policy
 (** Replay a fixed placement — e.g. the Exponential-optimal DP schedule
     computed with λ = 1/MTBF, the natural memoryless baseline. *)

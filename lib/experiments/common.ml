@@ -19,9 +19,6 @@ let rng config label =
 
 let runs config ~full = if config.quick then Stdlib.max 100 (full / 10) else full
 
-let time f =
-  let start = Unix.gettimeofday () in
-  let result = f () in
-  (Unix.gettimeofday () -. start, result)
+let time = Ckpt_obs.Clock.time
 
 let bool_cell b = if b then "yes" else "NO"

@@ -32,7 +32,8 @@ val runs : config -> full:int -> int
 (** [full] replications, divided by 10 (min 100) in quick mode. *)
 
 val time : (unit -> 'a) -> float * 'a
-(** Wall-clock seconds of a thunk. *)
+(** Monotonic wall-clock seconds of a thunk ({!Ckpt_obs.Clock.time}:
+    immune to system clock adjustments, unlike [Unix.gettimeofday]). *)
 
 val bool_cell : bool -> string
 (** "yes"/"NO" table cell. *)

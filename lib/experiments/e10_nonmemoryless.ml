@@ -60,6 +60,9 @@ let run config =
       let results =
         List.map
           (fun (label, policy) ->
+            (* Each estimate is its own campaign: don't let one policy's
+               cache hit rate bleed into the next row's metrics. *)
+            Nonmemoryless.reset_cache_stats ();
             let estimate =
               Monte_carlo.estimate_chain_policy ?domains:config.Common.domains
                 ?target_ci:config.Common.target_ci

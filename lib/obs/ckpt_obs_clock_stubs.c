@@ -1,0 +1,19 @@
+/* Monotonic clock for the observability layer.
+
+   CLOCK_MONOTONIC never steps backwards (unlike gettimeofday under NTP
+   adjustment), which is what makes elapsed-time subtraction safe. */
+
+#define _POSIX_C_SOURCE 199309L
+
+#include <time.h>
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value ckpt_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec);
+}

@@ -1,0 +1,8 @@
+external now_ns : unit -> int64 = "ckpt_obs_monotonic_ns"
+
+let elapsed_s since = Int64.to_float (Int64.sub (now_ns ()) since) *. 1e-9
+
+let time f =
+  let start = now_ns () in
+  let result = f () in
+  (elapsed_s start, result)

@@ -1,0 +1,17 @@
+(** Monotonic wall clock (CLOCK_MONOTONIC).
+
+    [Unix.gettimeofday] steps under NTP adjustment and can yield
+    negative elapsed times; every timing in this codebase goes through
+    this module instead. The absolute origin is unspecified (boot time
+    on Linux): only differences are meaningful. *)
+
+external now_ns : unit -> int64 = "ckpt_obs_monotonic_ns"
+(** Nanoseconds on the monotonic clock. *)
+
+val elapsed_s : int64 -> float
+(** [elapsed_s since] is the seconds elapsed since the {!now_ns} stamp
+    [since]. Always non-negative. *)
+
+val time : (unit -> 'a) -> float * 'a
+(** [time f] runs [f ()] and returns (monotonic wall-clock seconds,
+    result). *)

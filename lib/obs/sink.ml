@@ -1,0 +1,39 @@
+let lock = Mutex.create ()
+let sinks : (string * (unit -> unit)) list ref = ref []
+
+let register ~name f =
+  Mutex.protect lock (fun () ->
+      sinks := List.filter (fun (n, _) -> n <> name) !sinks @ [ (name, f) ])
+
+let flush () =
+  let fs = Mutex.protect lock (fun () -> !sinks) in
+  List.iter (fun (_, f) -> f ()) fs
+
+type metrics_format = Table | Json
+
+let print_metrics fmt () =
+  let snapshot = Metrics.snapshot () in
+  match fmt with
+  | Json -> print_endline (Metrics.to_json snapshot)
+  | Table ->
+      print_string (Metrics.render_table snapshot);
+      let spans = if Span.enabled () then Span.records () else [] in
+      if spans <> [] then begin
+        print_newline ();
+        print_string (Span.summary_table spans)
+      end
+
+let install_metrics fmt = register ~name:"metrics" (print_metrics fmt)
+
+let write_trace path () =
+  let records = Span.records () in
+  let contents =
+    if Filename.check_suffix path ".jsonl" then Span.to_jsonl records
+    else Span.to_chrome records
+  in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let install_trace path =
+  Span.set_enabled true;
+  register ~name:"trace" (write_trace path)

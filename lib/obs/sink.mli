@@ -1,0 +1,23 @@
+(** Named output sinks, flushed once by CLI tools on exit.
+
+    A sink is a thunk that renders some observability state (metrics
+    snapshot, span trace) to its destination. Registration replaces any
+    sink of the same name, so re-running a setup is idempotent. *)
+
+val register : name:string -> (unit -> unit) -> unit
+
+val flush : unit -> unit
+(** Run every registered sink once, in registration order. *)
+
+type metrics_format = Table | Json
+
+val install_metrics : metrics_format -> unit
+(** Register a ["metrics"] sink printing the {!Metrics.snapshot} to
+    stdout — the plain-text tables, or the JSON object on one line. The
+    table form also prints the span summary when spans were recorded. *)
+
+val install_trace : string -> unit
+(** Enable span recording and register a ["trace"] sink writing the
+    span records to the given path on flush: JSON Lines when the path
+    ends in [.jsonl], Chrome [trace_event] JSON otherwise (loadable in
+    Perfetto / about://tracing). *)

@@ -1,0 +1,26 @@
+open Cmdliner
+
+let metrics_arg =
+  let fmt = Arg.enum [ ("table", Ckpt_obs.Sink.Table); ("json", Ckpt_obs.Sink.Json) ] in
+  let doc =
+    "Print an engine-metrics snapshot on exit: runs, simulated failures, checkpoints, \
+     re-executed work, DP memo hit rates, per-domain pool utilization. $(docv) is \
+     $(b,table) or $(b,json); the deterministic section is bit-identical for any \
+     --domains value at a fixed seed."
+  in
+  Arg.(value & opt (some fmt) None & info [ "metrics" ] ~docv:"FMT" ~doc)
+
+let trace_arg =
+  let doc =
+    "Record timing spans and write them to $(docv) on exit, in Chrome trace_event JSON \
+     (load it in about://tracing or https://ui.perfetto.dev), or JSON Lines when the \
+     path ends in .jsonl."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let setup metrics trace =
+  Option.iter Ckpt_obs.Sink.install_metrics metrics;
+  Option.iter Ckpt_obs.Sink.install_trace trace;
+  Ckpt_obs.Sink.flush
+
+let term = Term.(const setup $ metrics_arg $ trace_arg)

@@ -2,6 +2,7 @@ module Rng = Ckpt_prng.Rng
 module Welford = Ckpt_stats.Welford
 module Failure_stream = Ckpt_failures.Failure_stream
 module Trace = Ckpt_failures.Trace
+module Span = Ckpt_obs.Span
 
 type estimate = {
   mean : float;
@@ -50,11 +51,17 @@ let replicate ?domains ?target_ci ?max_runs ~runs ~rng sample =
   if runs <= 0 then invalid_arg "Monte_carlo: runs must be positive";
   let seed = Rng.seed_of rng in
   let acc =
-    match target_ci with
-    | None -> Parallel_exec.estimate ?domains ~runs ~seed sample
-    | Some target_ci ->
-        let max_runs = match max_runs with Some m -> m | None -> runs * 64 in
-        Parallel_exec.estimate_adaptive ?domains ~runs ~max_runs ~target_ci ~seed sample
+    Span.with_ ~name:"mc.campaign"
+      ~args:
+        [ ("runs", string_of_int runs);
+          ("adaptive", match target_ci with Some _ -> "true" | None -> "false") ]
+      (fun () ->
+        match target_ci with
+        | None -> Parallel_exec.estimate ?domains ~runs ~seed sample
+        | Some target_ci ->
+            let max_runs = match max_runs with Some m -> m | None -> runs * 64 in
+            Parallel_exec.estimate_adaptive ?domains ~runs ~max_runs ~target_ci ~seed
+              sample)
   in
   estimate_of_welford acc
 

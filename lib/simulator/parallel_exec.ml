@@ -17,10 +17,21 @@
       stops the other workers from claiming further batches.
    3. Load balance. Batches are claimed from a shared atomic counter
       (work stealing), so a domain that drew expensive runs (many
-      failures) does not stall the others. *)
+      failures) does not stall the others.
+
+   Observability rides on the same batch grid: each batch runs under
+   its own Ckpt_obs.Metrics collector, and the batch collectors are
+   merged into the caller's collector in batch-index order after the
+   join — so even float-summing metrics (sim.lost_work) are
+   bit-identical for any domain count, exactly like the estimates.
+   Wall-clock pool metrics (spawn/join time, per-domain utilization)
+   are tagged Timing and reported separately. *)
 
 module Rng = Ckpt_prng.Rng
 module Welford = Ckpt_stats.Welford
+module Metrics = Ckpt_obs.Metrics
+module Span = Ckpt_obs.Span
+module Clock = Ckpt_obs.Clock
 
 let batch_size = 256
 
@@ -31,17 +42,29 @@ let resolve_domains = function
   | Some _ -> invalid_arg "Parallel_exec: domains must be >= 1"
   | None -> default_domains ()
 
+let m_runs = Metrics.counter "mc.runs"
+let m_batches = Metrics.counter "pool.batches"
+let m_rounds = Metrics.counter "mc.adaptive_rounds"
+let g_ci = Metrics.gauge "mc.ci_rel_half_width"
+let s_spawn = Metrics.sum ~kind:Timing "pool.spawn_s"
+let s_join = Metrics.sum ~kind:Timing "pool.join_s"
+let s_wall = Metrics.sum ~kind:Timing "pool.wall_s"
+
 (* Run [worker 0] on the current domain and [worker 1 .. domains-1] on
    spawned ones; join every spawned domain unconditionally and re-raise
    the first exception observed (in domain order, local worker first). *)
 let spawn_join ~domains worker =
+  let t_spawn = Clock.now_ns () in
   let handles =
     List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
   in
+  Metrics.add s_spawn (Clock.elapsed_s t_spawn);
   let first = ref None in
   let note e = if !first = None then first := Some e in
   (try worker 0 with e -> note e);
+  let t_join = Clock.now_ns () in
   List.iter (fun h -> try Domain.join h with e -> note e) handles;
+  Metrics.add s_join (Clock.elapsed_s t_join);
   match !first with Some e -> raise e | None -> ()
 
 let run_range ?domains ?store ~base ~runs ~seed sample =
@@ -49,12 +72,20 @@ let run_range ?domains ?store ~base ~runs ~seed sample =
   let domains = Stdlib.min (resolve_domains domains) runs in
   let batches = (runs + batch_size - 1) / batch_size in
   let accs = Array.make batches None in
+  (* One metrics collector per batch, merged in batch order below. *)
+  let mcols = Array.make batches None in
+  let busy_s = Array.make domains 0.0 in
+  let wall_s = Array.make domains 0.0 in
+  let batches_done = Array.make domains 0 in
   let next = Atomic.make 0 in
   let cancelled = Atomic.make false in
   let store = match store with None -> fun _ _ -> () | Some f -> f in
-  let worker _d =
+  let parent = Metrics.current () in
+  let t_region = Clock.now_ns () in
+  let worker d =
     (* Each domain rebuilds the root from the shared seed; substream
        derivation reads only the seed, never the generator position. *)
+    let t_worker = Clock.now_ns () in
     let root = Rng.create ~seed in
     let rec loop () =
       if not (Atomic.get cancelled) then begin
@@ -62,24 +93,54 @@ let run_range ?domains ?store ~base ~runs ~seed sample =
         if b < batches then begin
           let lo = base + (b * batch_size) in
           let hi = Stdlib.min (base + runs) (lo + batch_size) in
-          let acc = Welford.create () in
-          (try
-             for r = lo to hi - 1 do
-               let x = sample r (Rng.substream_run root r) in
-               Welford.add acc x;
-               store r x
-             done
-           with e ->
-             Atomic.set cancelled true;
-             raise e);
-          accs.(b) <- Some acc;
+          let t_batch = Clock.now_ns () in
+          let mcol = Metrics.create_collector () in
+          Metrics.with_collector mcol (fun () ->
+              Span.with_ ~name:"pool.batch"
+                ~args:
+                  [ ("batch", string_of_int b); ("lo", string_of_int lo);
+                    ("hi", string_of_int hi) ]
+                (fun () ->
+                  let acc = Welford.create () in
+                  (try
+                     for r = lo to hi - 1 do
+                       let x = sample r (Rng.substream_run root r) in
+                       Welford.add acc x;
+                       store r x
+                     done
+                   with e ->
+                     Atomic.set cancelled true;
+                     raise e);
+                  Metrics.incr ~by:(hi - lo) m_runs;
+                  Metrics.incr m_batches;
+                  accs.(b) <- Some acc));
+          mcols.(b) <- Some mcol;
+          busy_s.(d) <- busy_s.(d) +. Clock.elapsed_s t_batch;
+          batches_done.(d) <- batches_done.(d) + 1;
           loop ()
         end
       end
     in
-    loop ()
+    Fun.protect ~finally:(fun () -> wall_s.(d) <- Clock.elapsed_s t_worker) loop
   in
-  spawn_join ~domains worker;
+  Span.with_ ~name:"pool.round"
+    ~args:[ ("base", string_of_int base); ("runs", string_of_int runs) ]
+    (fun () -> spawn_join ~domains worker);
+  (* Deterministic merge: batch collectors in batch-index order, into
+     the collector that was current when the campaign started. *)
+  Array.iter
+    (function Some mcol -> Metrics.merge_into ~dst:parent mcol | None -> ())
+    mcols;
+  let region_s = Clock.elapsed_s t_region in
+  Metrics.add s_wall region_s;
+  for d = 0 to domains - 1 do
+    let gauge suffix = Metrics.gauge ~kind:Timing (Printf.sprintf "pool.domain%d.%s" d suffix) in
+    Metrics.set (gauge "batches") (float_of_int batches_done.(d));
+    Metrics.set (gauge "busy_s") busy_s.(d);
+    Metrics.set (gauge "queue_wait_s") (Float.max 0.0 (wall_s.(d) -. busy_s.(d)));
+    Metrics.set (gauge "utilization_pct")
+      (if region_s > 0.0 then 100.0 *. busy_s.(d) /. region_s else 0.0)
+  done;
   Array.fold_left
     (fun merged slot ->
       match slot with Some acc -> Welford.merge merged acc | None -> merged)
@@ -104,11 +165,26 @@ let converged ~target_ci acc =
   Welford.count acc >= 2
   && ci99_half_width acc <= target_ci *. Float.abs (Welford.mean acc)
 
+(* Per-round CI trajectory: a deterministic gauge (last value wins) plus
+   an instant trace marker, so an adaptive campaign can be replayed from
+   its artifacts. *)
+let report_ci acc =
+  if Welford.count acc >= 2 && Welford.mean acc <> 0.0 then begin
+    let rel = ci99_half_width acc /. Float.abs (Welford.mean acc) in
+    Metrics.set g_ci rel;
+    Span.instant "mc.ci"
+      ~args:
+        [ ("rel_half_width", Printf.sprintf "%.6g" rel);
+          ("n", string_of_int (Welford.count acc)) ]
+  end
+
 let estimate_adaptive ?domains ~runs ~max_runs ~target_ci ~seed sample =
   if runs <= 0 then invalid_arg "Parallel_exec: runs must be positive";
   if max_runs < runs then invalid_arg "Parallel_exec: max_runs must be >= runs";
   if not (target_ci > 0.0) then invalid_arg "Parallel_exec: target_ci must be positive";
+  Metrics.incr m_rounds;
   let acc = ref (run_range ?domains ~base:0 ~runs ~seed sample) in
+  report_ci !acc;
   while (not (converged ~target_ci !acc)) && Welford.count !acc < max_runs do
     (* Double the campaign each round: the CI half-width shrinks as
        1/sqrt(n), so geometric growth overshoots the target by at most
@@ -117,7 +193,9 @@ let estimate_adaptive ?domains ~runs ~max_runs ~target_ci ~seed sample =
        never on the domain count, preserving property 1. *)
     let total = Welford.count !acc in
     let extra = Stdlib.min total (max_runs - total) in
+    Metrics.incr m_rounds;
     let round = run_range ?domains ~base:total ~runs:extra ~seed sample in
-    acc := Welford.merge !acc round
+    acc := Welford.merge !acc round;
+    report_ci !acc
   done;
   !acc

@@ -1,4 +1,17 @@
 module Task = Ckpt_dag.Task
+module Metrics = Ckpt_obs.Metrics
+
+(* Engine metrics, emitted into the caller's current collector: under
+   the parallel pool each run's events land in its batch's collector,
+   so the report-time totals are bit-identical for any domain count
+   (see Ckpt_obs.Metrics on the merge order). *)
+let m_failures = Metrics.counter "sim.failures"
+let m_checkpoints = Metrics.counter "sim.checkpoints"
+let m_lost_work = Metrics.sum "sim.lost_work"
+
+let m_failures_per_run =
+  Metrics.histogram "sim.failures_per_run"
+    ~buckets:[| 0.; 1.; 2.; 5.; 10.; 20.; 50.; 100. |]
 
 type segment = { work : float; checkpoint : float; recovery : float }
 
@@ -13,6 +26,7 @@ let default_max_failures = 10_000_000
 
 let count_failure ~max_failures counter =
   incr counter;
+  Metrics.incr m_failures;
   if !counter > max_failures then raise (Livelock !counter)
 
 (* Run a recovery of length [recovery]: failures restart downtime +
@@ -27,6 +41,7 @@ let run_recovery ?(on_failure = fun (_ : float) -> ()) ~max_failures ~counter ~d
     if fail >= finish then finish
     else begin
       count_failure ~max_failures counter;
+      Metrics.add m_lost_work (fail -. t);
       on_failure fail;
       loop (fail +. downtime)
     end
@@ -79,6 +94,7 @@ let run_segments_emitting ?(max_failures = default_max_failures) ~emit ~downtime
       end
       else begin
         count_failure ~max_failures counter;
+        Metrics.add m_lost_work (fail -. t);
         emit { phase = Recovery_phase; segment = index; start = t; finish = fail;
                interrupted = true };
         emit { phase = Downtime_phase; segment = index; start = fail;
@@ -91,10 +107,12 @@ let run_segments_emitting ?(max_failures = default_max_failures) ~emit ~downtime
       let fail = next_failure t in
       if fail >= finish then begin
         emit_attempt t finish false;
+        Metrics.incr m_checkpoints;
         finish
       end
       else begin
         count_failure ~max_failures counter;
+        Metrics.add m_lost_work (fail -. t);
         emit_attempt t fail true;
         emit { phase = Downtime_phase; segment = index; start = fail;
                finish = fail +. downtime; interrupted = false };
@@ -106,6 +124,7 @@ let run_segments_emitting ?(max_failures = default_max_failures) ~emit ~downtime
   let makespan =
     List.fold_left run_segment 0.0 (List.mapi (fun i seg -> (i, seg)) segments)
   in
+  Metrics.observe m_failures_per_run (float_of_int !counter);
   { makespan; failures = !counter }
 
 let run_segments_stats ?max_failures ~downtime ~next_failure segments =
@@ -147,7 +166,7 @@ let run_chain_policy ?(max_failures = default_max_failures) ~initial_recovery ~d
       let task = tasks.(i) in
       let finish = t +. task.Task.work in
       let fail = next_failure t in
-      if fail < finish then rollback fail last_ckpt
+      if fail < finish then rollback ~lost:(acc_work +. (fail -. t)) fail last_ckpt
       else begin
         let acc_work = acc_work +. task.Task.work in
         let ctx =
@@ -164,13 +183,18 @@ let run_chain_policy ?(max_failures = default_max_failures) ~initial_recovery ~d
         else begin
           let ckpt_finish = finish +. task.Task.checkpoint_cost in
           let fail = next_failure finish in
-          if fail < ckpt_finish then rollback fail last_ckpt
-          else execute ckpt_finish i (i + 1) 0.0
+          if fail < ckpt_finish then
+            rollback ~lost:(acc_work +. (fail -. finish)) fail last_ckpt
+          else begin
+            Metrics.incr m_checkpoints;
+            execute ckpt_finish i (i + 1) 0.0
+          end
         end
       end
     end
-  and rollback fail_time last_ckpt =
+  and rollback ~lost fail_time last_ckpt =
     count_failure ~max_failures counter;
+    Metrics.add m_lost_work lost;
     last_failure := fail_time;
     let recovered =
       run_recovery
@@ -180,4 +204,6 @@ let run_chain_policy ?(max_failures = default_max_failures) ~initial_recovery ~d
     in
     execute recovered last_ckpt (last_ckpt + 1) 0.0
   in
-  execute 0.0 (-1) 0 0.0
+  let makespan = execute 0.0 (-1) 0 0.0 in
+  Metrics.observe m_failures_per_run (float_of_int !counter);
+  makespan

@@ -27,4 +27,5 @@ let () =
       ("replication", Test_replication.suite);
       ("output-tools", Test_output_tools.suite);
       ("rejuvenation", Test_rejuvenation.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -147,6 +147,31 @@ let test_policies_produce_finite_makespans_under_weibull () =
         (Float.is_finite mean && mean >= 16.0))
     policies
 
+let test_cache_stats_track_and_reset () =
+  Nonmemoryless.reset_cache_stats ();
+  let zero = Nonmemoryless.cache_stats () in
+  Alcotest.(check int) "hits start at zero" 0 zero.Nonmemoryless.hits;
+  Alcotest.(check int) "misses start at zero" 0 zero.Nonmemoryless.misses;
+  Alcotest.(check int) "size starts at zero" 0 zero.Nonmemoryless.size;
+  let law = Law.weibull ~shape:0.7 ~scale:50.0 in
+  let policy = Nonmemoryless.mrl_young ~law ~processors:2 ~mean_checkpoint:0.4 in
+  (* Same age bucket twice: one miss populates it, one hit reuses it. *)
+  ignore (policy (ctx ~since:3.0 ()));
+  ignore (policy (ctx ~since:3.0 ()));
+  let s = Nonmemoryless.cache_stats () in
+  Alcotest.(check bool)
+    (Printf.sprintf "lookups recorded (hits %d, misses %d)" s.Nonmemoryless.hits
+       s.Nonmemoryless.misses)
+    true
+    (s.Nonmemoryless.hits >= 1 && s.Nonmemoryless.misses >= 1);
+  Alcotest.(check int) "size counts insertions" s.Nonmemoryless.misses
+    s.Nonmemoryless.size;
+  Nonmemoryless.reset_cache_stats ();
+  let r = Nonmemoryless.cache_stats () in
+  Alcotest.(check int) "reset zeros hits" 0 r.Nonmemoryless.hits;
+  Alcotest.(check int) "reset zeros misses" 0 r.Nonmemoryless.misses;
+  Alcotest.(check int) "reset zeros size" 0 r.Nonmemoryless.size
+
 let test_hazard_young_adapts () =
   (* Right after a failure (small age) the hazard is huge for shape<1,
      so the policy checkpoints at small unsaved work; long after, it
@@ -179,4 +204,6 @@ let suite =
     Alcotest.test_case "policies finite under weibull" `Slow
       test_policies_produce_finite_makespans_under_weibull;
     Alcotest.test_case "hazard-young adapts to age" `Quick test_hazard_young_adapts;
+    Alcotest.test_case "cache stats track and reset" `Quick
+      test_cache_stats_track_and_reset;
   ]

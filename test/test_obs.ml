@@ -1,0 +1,237 @@
+(* Tests for the observability layer: monotonic clock, sharded metrics
+   (bucket edges, scoped collectors, cross-domain determinism), span
+   nesting, and the golden shape of the trace exports. *)
+
+module Clock = Ckpt_obs.Clock
+module Metrics = Ckpt_obs.Metrics
+module Span = Ckpt_obs.Span
+module Monte_carlo = Ckpt_sim.Monte_carlo
+module Sim_run = Ckpt_sim.Sim_run
+module Rng = Ckpt_prng.Rng
+
+let find name =
+  match
+    List.find_opt (fun (n, _, _) -> n = name) (Metrics.snapshot ())
+  with
+  | Some (_, _, v) -> v
+  | None -> Alcotest.failf "metric %S not in snapshot" name
+
+let counter_value name =
+  match find name with
+  | Metrics.Counter n -> n
+  | _ -> Alcotest.failf "metric %S is not a counter" name
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_clock_monotonic () =
+  let stamps = Array.init 1000 (fun _ -> Clock.now_ns ()) in
+  Array.iteri
+    (fun i t ->
+      if i > 0 && Int64.compare t stamps.(i - 1) < 0 then
+        Alcotest.failf "clock went backwards at stamp %d" i)
+    stamps;
+  let dt, x = Clock.time (fun () -> 42) in
+  Alcotest.(check int) "thunk result passed through" 42 x;
+  Alcotest.(check bool) "non-negative duration" true (dt >= 0.0)
+
+let test_histogram_bucket_edges () =
+  let h = Metrics.histogram "test.hist_edges" ~buckets:[| 1.0; 2.0; 5.0 |] in
+  Metrics.reset ();
+  (* Boundary values land in the bucket whose bound they equal (le
+     semantics); above the last bound, infinity and NaN all overflow;
+     below the first bound lands in bucket 0. *)
+  List.iter (Metrics.observe h)
+    [ 0.5; 1.0; -3.0; 1.5; 2.0; 5.0; 5.1; infinity; Float.nan ];
+  match find "test.hist_edges" with
+  | Metrics.Histogram data ->
+      Alcotest.(check (array int)) "bucket counts (last slot = overflow)"
+        [| 3; 2; 1; 3 |] data.Metrics.counts;
+      Alcotest.(check int) "observation count" 9 data.Metrics.observations
+  | _ -> Alcotest.fail "expected a histogram"
+
+let test_histogram_validation () =
+  Alcotest.check_raises "empty buckets"
+    (Invalid_argument "Metrics.histogram: empty buckets") (fun () ->
+      ignore (Metrics.histogram "test.hist_empty" ~buckets:[||]));
+  Alcotest.check_raises "non-increasing bounds"
+    (Invalid_argument "Metrics.histogram: bounds must be strictly increasing")
+    (fun () -> ignore (Metrics.histogram "test.hist_flat" ~buckets:[| 1.0; 1.0 |]));
+  Alcotest.check_raises "NaN bound"
+    (Invalid_argument "Metrics.histogram: NaN bucket bound") (fun () ->
+      ignore (Metrics.histogram "test.hist_nan" ~buckets:[| 1.0; Float.nan |]));
+  Alcotest.check_raises "re-registration with a different type"
+    (Invalid_argument "Metrics: \"test.retype\" re-registered with a different type")
+    (fun () ->
+      ignore (Metrics.counter "test.retype");
+      ignore (Metrics.gauge "test.retype"))
+
+let test_scoped_collector_isolation () =
+  let c = Metrics.counter "test.scoped" in
+  Metrics.reset ();
+  let col = Metrics.create_collector () in
+  Metrics.with_collector col (fun () -> Metrics.incr ~by:3 c);
+  Alcotest.(check int) "scoped emissions invisible before merge" 0
+    (counter_value "test.scoped");
+  Metrics.merge_into ~dst:(Metrics.current ()) col;
+  Metrics.merge_into ~dst:(Metrics.current ()) col;
+  Alcotest.(check int) "merge adds (twice here)" 6 (counter_value "test.scoped")
+
+(* The acceptance guarantee: the deterministic (Engine) section of the
+   snapshot is identical whatever the domain count — integer counters
+   commute, and float sums are accumulated per fixed-grid batch and
+   merged in batch order. *)
+let engine_section () =
+  List.filter_map
+    (fun (name, kind, v) -> if kind = Metrics.Engine then Some (name, v) else None)
+    (Metrics.snapshot ())
+
+let test_engine_metrics_identical_across_domains () =
+  let snap domains =
+    Metrics.reset ();
+    ignore
+      (Monte_carlo.estimate_segments ~domains ~model:(Monte_carlo.Poisson_rate 0.08)
+         ~downtime:0.4 ~runs:3000 ~rng:(Rng.create ~seed:515L)
+         [ Sim_run.segment ~work:7.0 ~checkpoint:0.7 ~recovery:1.2 ]);
+    engine_section ()
+  in
+  let reference = snap 1 in
+  Alcotest.(check bool) "reference campaign emitted metrics" true
+    (List.exists (fun (n, v) -> n = "sim.failures" && v <> Metrics.Counter 0) reference);
+  List.iter
+    (fun domains ->
+      let got = snap domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "engine section bit-identical (%d domains)" domains)
+        true
+        (compare reference got = 0))
+    [ 2; 4 ];
+  Metrics.reset ()
+
+let test_hit_rate_derived_row () =
+  let hits = Metrics.counter "test.lookup_hits" in
+  let misses = Metrics.counter "test.lookup_misses" in
+  Metrics.reset ();
+  Metrics.incr ~by:3 hits;
+  Metrics.incr misses;
+  let table = Metrics.render_table (Metrics.snapshot ()) in
+  Alcotest.(check bool) "derived hit-rate row present" true
+    (contains table "test.lookup_hit_rate");
+  Alcotest.(check bool) "3/(3+1) = 0.75" true (contains table "0.75");
+  Metrics.reset ()
+
+let test_span_nesting_and_exception_unwinding () =
+  Span.reset ();
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Span.set_enabled false)
+    (fun () ->
+      Span.with_ ~name:"outer" (fun () ->
+          Span.with_ ~name:"inner" (fun () -> ());
+          (try Span.with_ ~name:"boom" (fun () -> raise Exit) with Exit -> ());
+          Span.instant "marker");
+      (* The depth counter must be unwound by the exception: a sibling
+         span recorded afterwards is back at depth 0. *)
+      Span.with_ ~name:"after" (fun () -> ()));
+  let rs = Span.records () in
+  let depth_of name =
+    match List.find_opt (fun r -> r.Span.name = name) rs with
+    | Some r -> r.Span.depth
+    | None -> Alcotest.failf "span %S not recorded" name
+  in
+  Alcotest.(check int) "outer at depth 0" 0 (depth_of "outer");
+  Alcotest.(check int) "inner nested" 1 (depth_of "inner");
+  Alcotest.(check int) "raising span nested" 1 (depth_of "boom");
+  Alcotest.(check int) "instant inherits depth" 1 (depth_of "marker");
+  Alcotest.(check int) "depth restored after exception" 0 (depth_of "after");
+  let boom = List.find (fun r -> r.Span.name = "boom") rs in
+  Alcotest.(check (option string))
+    "exception-closed span tagged" (Some "true")
+    (List.assoc_opt "raised" boom.Span.args);
+  Span.reset ();
+  Span.with_ ~name:"disabled" (fun () -> ());
+  Alcotest.(check int) "no recording while disabled" 0 (List.length (Span.records ()))
+
+(* Golden exports on synthetic records: the Chrome shape is what
+   Perfetto parses, so it is pinned byte for byte. *)
+let synthetic =
+  [
+    {
+      Span.name = "alpha";
+      span_kind = Span.Complete;
+      start_ns = 1_000_000L;
+      dur_ns = 2_500_000L;
+      tid = 0;
+      depth = 0;
+      args = [ ("k", {|v "q"|}) ];
+    };
+    {
+      Span.name = "beta";
+      span_kind = Span.Instant;
+      start_ns = 1_500_000L;
+      dur_ns = 0L;
+      tid = 3;
+      depth = 1;
+      args = [];
+    };
+  ]
+
+let test_chrome_trace_golden () =
+  let expected =
+    {|{"displayTimeUnit":"ms","traceEvents":[|}
+    ^ {|{"name":"alpha","cat":"ckpt","ph":"X","pid":0,"tid":0,"ts":0.000,"dur":2500.000,"args":{"k":"v \"q\""}},|}
+    ^ {|{"name":"beta","cat":"ckpt","ph":"i","s":"t","pid":0,"tid":3,"ts":500.000,"args":{}}]}|}
+  in
+  Alcotest.(check string) "chrome trace_event shape" expected (Span.to_chrome synthetic);
+  Alcotest.(check string) "empty record list still parses"
+    {|{"displayTimeUnit":"ms","traceEvents":[]}|}
+    (Span.to_chrome [])
+
+let test_jsonl_golden () =
+  let expected =
+    {|{"name":"alpha","kind":"span","start_ns":1000000,"dur_ns":2500000,"tid":0,"depth":0,"args":{"k":"v \"q\""}}|}
+    ^ "\n"
+    ^ {|{"name":"beta","kind":"instant","start_ns":1500000,"dur_ns":0,"tid":3,"depth":1,"args":{}}|}
+    ^ "\n"
+  in
+  Alcotest.(check string) "json-lines shape" expected (Span.to_jsonl synthetic)
+
+let test_json_snapshot_parses () =
+  (* Sanity of the --metrics json surface: balanced braces, both
+     sections present, every registered metric quoted by name. *)
+  Metrics.reset ();
+  let json = Metrics.to_json (Metrics.snapshot ()) in
+  let depth = ref 0 and min_depth = ref 1 in
+  String.iter
+    (fun c ->
+      if c = '{' then incr depth
+      else if c = '}' then begin
+        decr depth;
+        if !depth < !min_depth then min_depth := !depth
+      end)
+    json;
+  Alcotest.(check int) "braces balance" 0 !depth;
+  Alcotest.(check int) "never close below top level" 0 !min_depth;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " present") true (contains json ("\"" ^ key ^ "\"")))
+    [ "metrics"; "timings"; "mc.runs"; "sim.failures"; "dp.memo_hits" ]
+
+let suite =
+  [
+    Alcotest.test_case "monotonic clock" `Quick test_clock_monotonic;
+    Alcotest.test_case "histogram bucket edges" `Quick test_histogram_bucket_edges;
+    Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+    Alcotest.test_case "scoped collectors isolate until merged" `Quick
+      test_scoped_collector_isolation;
+    Alcotest.test_case "engine metrics bit-identical across domains" `Quick
+      test_engine_metrics_identical_across_domains;
+    Alcotest.test_case "derived hit-rate row" `Quick test_hit_rate_derived_row;
+    Alcotest.test_case "span nesting and exception unwinding" `Quick
+      test_span_nesting_and_exception_unwinding;
+    Alcotest.test_case "chrome trace golden" `Quick test_chrome_trace_golden;
+    Alcotest.test_case "json-lines golden" `Quick test_jsonl_golden;
+    Alcotest.test_case "metrics json well-formed" `Quick test_json_snapshot_parses;
+  ]
