@@ -1,0 +1,91 @@
+(* ckpt-lint: project-wide static analysis for domain-safety and
+   numerical correctness. Parses every .ml under the given paths with
+   ppxlib and reports rule violations with file:line diagnostics.
+
+   Exit codes: 0 clean, 1 violations (at error severity), 2 usage or
+   configuration error. *)
+
+module Config = Ckpt_analysis.Config
+module Driver = Ckpt_analysis.Driver
+module Output = Ckpt_analysis.Output
+module Rule = Ckpt_analysis.Rule
+module Rules = Ckpt_analysis.Rules
+
+open Cmdliner
+
+let format_arg =
+  let parse s =
+    match Output.format_of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown format %S (expected text or json)" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (match f with Output.Text -> "text" | Output.Json -> "json")
+  in
+  Arg.conv (parse, print)
+
+let format_t =
+  Arg.(value & opt format_arg Output.Text & info [ "format" ] ~docv:"FMT"
+         ~doc:"Output format: $(b,text) or $(b,json).")
+
+let config_t =
+  Arg.(value & opt (some file) None & info [ "config" ] ~docv:"FILE"
+         ~doc:"Lint configuration (defaults to ./lint.toml when present).")
+
+let root_t =
+  Arg.(value & opt dir "." & info [ "root" ] ~docv:"DIR"
+         ~doc:"Directory paths are resolved against (diagnostics are \
+               reported relative to it).")
+
+let paths_t =
+  Arg.(value & pos_all string [] & info [] ~docv:"PATH"
+         ~doc:"Files or directories to lint, relative to $(b,--root) \
+               (defaults to the configured roots).")
+
+let list_rules_t =
+  Arg.(value & flag & info [ "rules" ] ~doc:"List the known rules and exit.")
+
+let run format config_file root paths list_rules =
+  if list_rules then begin
+    List.iter
+      (fun (r : Rule.t) -> Printf.printf "%-28s %s\n" r.Rule.name r.Rule.doc)
+      Rules.all;
+    0
+  end
+  else
+    match
+      match config_file with
+      | Some path -> Config.load path
+      | None ->
+          let default_path = Filename.concat root "lint.toml" in
+          if Sys.file_exists default_path then Config.load default_path
+          else Config.default
+    with
+    | exception Failure msg ->
+        prerr_endline ("ckpt-lint: " ^ msg);
+        2
+    | config ->
+        let paths = if paths = [] then config.Config.roots else paths in
+        let diags = Driver.run ~config ~rules:Rules.all ~root paths in
+        print_endline (Output.render ~format diags);
+        if Driver.has_errors diags then 1 else 0
+
+let cmd =
+  let doc = "static analysis for domain-safety and numerical correctness" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "$(tname) parses every .ml file under the given paths and reports \
+         violations of the project's correctness rules (float polymorphic \
+         comparison, wall-clock reads, global Random, unguarded global \
+         mutable state, raw span scopes, banned functions in lib/). Rules, \
+         severities and per-path allowlists are configured in lint.toml; \
+         see docs/LINT.md for the catalog.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "ckpt-lint" ~doc ~man)
+    Term.(const run $ format_t $ config_t $ root_t $ paths_t $ list_rules_t)
+
+let () = exit (Cmd.eval' cmd)

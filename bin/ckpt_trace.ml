@@ -1,8 +1,6 @@
 (* CLI: generate and inspect synthetic failure traces and cluster logs. *)
 
 open Cmdliner
-module Law = Ckpt_dist.Law
-module Platform = Ckpt_failures.Platform
 module Trace = Ckpt_failures.Trace
 module Cluster_log = Ckpt_failures.Cluster_log
 

@@ -10,7 +10,6 @@ module Task = Ckpt_dag.Task
 module Chain_problem = Ckpt_core.Chain_problem
 module Chain_dp = Ckpt_core.Chain_dp
 module Schedule = Ckpt_core.Schedule
-module Expected_time = Ckpt_core.Expected_time
 module Monte_carlo = Ckpt_sim.Monte_carlo
 
 let () =

@@ -13,7 +13,6 @@ module Law = Ckpt_dist.Law
 module Rng = Ckpt_prng.Rng
 module Table = Ckpt_stats.Table
 module Cluster_log = Ckpt_failures.Cluster_log
-module Trace = Ckpt_failures.Trace
 module Monte_carlo = Ckpt_sim.Monte_carlo
 module Chain_problem = Ckpt_core.Chain_problem
 module Chain_dp = Ckpt_core.Chain_dp

@@ -1,0 +1,238 @@
+(* Hand-rolled parser for the checked-in `lint.toml` (a strict TOML
+   subset — no new dependencies). Supported grammar:
+
+     # comment (outside strings)
+     [lint]
+     roots   = ["lib", "bin"]
+     exclude = ["test/lint_fixtures"]
+
+     [rule.float-polymorphic-compare]
+     severity = "error"          # "error" | "warning" | "off"
+     allow    = ["lib/obs/sink.ml", "lib/experiments"]
+
+   Arrays may span several lines. Strings have no escape sequences.
+   Unknown sections or keys are hard errors so typos cannot silently
+   disable a rule. Allow/exclude entries are path prefixes matched at
+   '/' boundaries against lint-root-relative paths. *)
+
+type rule_config = { severity : string option; allow : string list }
+
+type t = {
+  roots : string list;
+  exclude : string list;
+  rules : (string * rule_config) list;
+}
+
+let default = { roots = [ "lib"; "bin"; "bench"; "test" ]; exclude = []; rules = [] }
+
+let fail ~file ~line msg =
+  failwith (Printf.sprintf "%s:%d: %s" file line msg)
+
+(* Drop a '#' comment, tracking double quotes so '#' inside a string
+   survives. *)
+let strip_comment line =
+  let buf = Buffer.create (String.length line) in
+  let in_string = ref false in
+  (try
+     String.iter
+       (fun c ->
+         if c = '"' then begin
+           in_string := not !in_string;
+           Buffer.add_char buf c
+         end
+         else if c = '#' && not !in_string then raise Exit
+         else Buffer.add_char buf c)
+       line
+   with Exit -> ());
+  Buffer.contents buf
+
+let bracket_balance s =
+  let depth = ref 0 and in_string = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then in_string := not !in_string
+      else if not !in_string then
+        if c = '[' then incr depth else if c = ']' then decr depth)
+    s;
+  !depth
+
+let parse_string_lit ~file ~line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then
+    fail ~file ~line (Printf.sprintf "expected a double-quoted string, got %S" s);
+  String.sub s 1 (n - 2)
+
+(* Split "a", "b", "c" on commas outside strings. *)
+let split_items s =
+  let items = ref [] and buf = Buffer.create 32 and in_string = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_string := not !in_string;
+        Buffer.add_char buf c
+      end
+      else if c = ',' && not !in_string then begin
+        items := Buffer.contents buf :: !items;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  items := Buffer.contents buf :: !items;
+  List.rev_map String.trim !items |> List.filter (fun s -> s <> "")
+
+let parse_array ~file ~line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    fail ~file ~line (Printf.sprintf "expected an array [...], got %S" s);
+  split_items (String.sub s 1 (n - 2))
+  |> List.map (fun item -> parse_string_lit ~file ~line item)
+
+let parse_section_header ~file ~line s =
+  let n = String.length s in
+  let name = String.trim (String.sub s 1 (n - 2)) in
+  if name = "" then fail ~file ~line "empty section header";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> ()
+      | c -> fail ~file ~line (Printf.sprintf "bad character %C in section header" c))
+    name;
+  name
+
+let severities = [ "error"; "warning"; "off" ]
+
+let parse_string ?(filename = "lint.toml") contents =
+  let file = filename in
+  let lines = String.split_on_char '\n' contents in
+  (* Fold physical lines into logical lines, joining while an array is
+     still open; keep the first physical line's number for messages. *)
+  let logical =
+    let rec go acc pending lines =
+      match (pending, lines) with
+      | None, [] -> List.rev acc
+      | Some (lnum, s), [] ->
+          if bracket_balance s <> 0 then fail ~file ~line:lnum "unterminated array";
+          List.rev ((lnum, s) :: acc)
+      | None, (lnum, l) :: rest ->
+          let l = strip_comment l in
+          if bracket_balance l > 0 then go acc (Some (lnum, l)) rest
+          else go ((lnum, l) :: acc) None rest
+      | Some (lnum, s), (_, l) :: rest ->
+          let s = s ^ " " ^ strip_comment l in
+          if bracket_balance s > 0 then go acc (Some (lnum, s)) rest
+          else go ((lnum, s) :: acc) None rest
+    in
+    go [] None (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  let config = ref default in
+  let section = ref None in
+  let rule_update name f =
+    let current =
+      match List.assoc_opt name !config.rules with
+      | Some rc -> rc
+      | None -> { severity = None; allow = [] }
+    in
+    config :=
+      { !config with
+        rules = (name, f current) :: List.remove_assoc name !config.rules }
+  in
+  List.iter
+    (fun (lnum, raw) ->
+      let line = String.trim raw in
+      if line = "" then ()
+      else if String.length line >= 2 && line.[0] = '[' && line.[String.length line - 1] = ']'
+      then begin
+        let name = parse_section_header ~file ~line:lnum line in
+        match name with
+        | "lint" -> section := Some `Lint
+        | _ when String.length name > 5 && String.sub name 0 5 = "rule." ->
+            section := Some (`Rule (String.sub name 5 (String.length name - 5)))
+        | _ -> fail ~file ~line:lnum (Printf.sprintf "unknown section [%s]" name)
+      end
+      else
+        match String.index_opt line '=' with
+        | None -> fail ~file ~line:lnum (Printf.sprintf "expected key = value, got %S" line)
+        | Some i -> (
+            let key = String.trim (String.sub line 0 i) in
+            let value = String.sub line (i + 1) (String.length line - i - 1) in
+            match !section with
+            | None -> fail ~file ~line:lnum "key outside any [section]"
+            | Some `Lint -> (
+                match key with
+                | "roots" ->
+                    config := { !config with roots = parse_array ~file ~line:lnum value }
+                | "exclude" ->
+                    config := { !config with exclude = parse_array ~file ~line:lnum value }
+                | _ -> fail ~file ~line:lnum (Printf.sprintf "unknown key %S in [lint]" key))
+            | Some (`Rule name) -> (
+                match key with
+                | "severity" ->
+                    let s = parse_string_lit ~file ~line:lnum value in
+                    if not (List.mem s severities) then
+                      fail ~file ~line:lnum
+                        (Printf.sprintf "severity must be one of error/warning/off, got %S" s);
+                    rule_update name (fun rc -> { rc with severity = Some s })
+                | "allow" ->
+                    let paths = parse_array ~file ~line:lnum value in
+                    rule_update name (fun rc -> { rc with allow = rc.allow @ paths })
+                | _ ->
+                    fail ~file ~line:lnum
+                      (Printf.sprintf "unknown key %S in [rule.%s]" key name))))
+    logical;
+  !config
+
+let load path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string ~filename:path contents
+
+(* --- path matching -------------------------------------------------- *)
+
+let normalize_path p =
+  let p = String.map (fun c -> if c = '\\' then '/' else c) p in
+  let p =
+    if String.length p >= 2 && String.sub p 0 2 = "./" then
+      String.sub p 2 (String.length p - 2)
+    else p
+  in
+  if String.length p > 1 && p.[String.length p - 1] = '/' then
+    String.sub p 0 (String.length p - 1)
+  else p
+
+(* [pattern] covers [path] when equal, or when pattern is a directory
+   prefix at a '/' boundary. A trailing "/**" on the pattern is
+   accepted and means the same thing. *)
+let path_covered ~pattern path =
+  let pattern = normalize_path pattern in
+  let pattern =
+    if Filename.check_suffix pattern "/**" then
+      String.sub pattern 0 (String.length pattern - 3)
+    else pattern
+  in
+  let path = normalize_path path in
+  pattern = path || String.starts_with ~prefix:(pattern ^ "/") path
+
+let excluded config path =
+  List.exists (fun pattern -> path_covered ~pattern path) config.exclude
+
+let rule_config config rule =
+  match List.assoc_opt rule config.rules with
+  | Some rc -> rc
+  | None -> { severity = None; allow = [] }
+
+let allowed config ~rule path =
+  List.exists (fun pattern -> path_covered ~pattern path) (rule_config config rule).allow
+
+(* Resolve the effective severity: config override beats the rule's
+   default; "off" disables the rule entirely (None). *)
+let severity config ~rule ~default:d =
+  match (rule_config config rule).severity with
+  | None -> Some d
+  | Some "off" -> None
+  | Some s -> Diagnostic.severity_of_string s

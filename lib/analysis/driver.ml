@@ -1,0 +1,87 @@
+(* File discovery, parsing and rule dispatch. The driver never prints
+   and never exits: it returns diagnostics for the CLI (or the tests)
+   to render — stdout and exit codes belong to bin/ckpt_lint.ml. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let full_path ~root path = if root = "." then path else Filename.concat root path
+
+(* All .ml files under [paths] (lint-root-relative files or
+   directories), minus the config's excluded subtrees, sorted and
+   deduplicated. Hidden entries and _build are skipped. *)
+let list_files ~config ~root paths =
+  let skip name =
+    name = "" || name.[0] = '.' || name.[0] = '_' || name = "node_modules"
+  in
+  let rec walk acc rel =
+    let full = full_path ~root rel in
+    if Config.excluded config rel then acc
+    else if Sys.is_directory full then
+      Array.to_list (Sys.readdir full)
+      |> List.filter (fun name -> not (skip name))
+      |> List.fold_left (fun acc name -> walk acc (rel ^ "/" ^ name)) acc
+    else if Filename.check_suffix rel ".ml" then rel :: acc
+    else acc
+  in
+  List.fold_left
+    (fun acc p -> walk acc (Config.normalize_path p))
+    [] paths
+  |> List.sort_uniq String.compare
+
+let parse_structure ~root path =
+  let contents = read_file (full_path ~root path) in
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf path;
+  Ppxlib.Parse.implementation lexbuf
+
+let lint_file ~config ~rules ~root path =
+  let path = Config.normalize_path path in
+  match parse_structure ~root path with
+  | exception e ->
+      [
+        {
+          Diagnostic.rule = "parse-error";
+          severity = Diagnostic.Error;
+          file = path;
+          line = 1;
+          col = 0;
+          message = Printexc.to_string e;
+        };
+      ]
+  | str ->
+      let diags = ref [] in
+      List.iter
+        (fun (r : Rule.t) ->
+          match Config.severity config ~rule:r.Rule.name ~default:r.Rule.default_severity with
+          | None -> () (* switched off *)
+          | Some severity ->
+              if not (Config.allowed config ~rule:r.Rule.name path) then begin
+                let emit ~loc msg =
+                  let start = loc.Ppxlib.Location.loc_start in
+                  diags :=
+                    {
+                      Diagnostic.rule = r.Rule.name;
+                      severity;
+                      file = path;
+                      line = start.Lexing.pos_lnum;
+                      col = start.Lexing.pos_cnum - start.Lexing.pos_bol;
+                      message = msg;
+                    }
+                    :: !diags
+                in
+                r.Rule.check { Rule.path; emit } str
+              end)
+        rules;
+      List.sort Diagnostic.compare !diags
+
+let run ~config ~rules ~root paths =
+  list_files ~config ~root paths
+  |> List.concat_map (fun path -> lint_file ~config ~rules ~root path)
+  |> List.sort Diagnostic.compare
+
+let has_errors diags =
+  List.exists (fun (d : Diagnostic.t) -> d.Diagnostic.severity = Diagnostic.Error) diags

@@ -1,0 +1,21 @@
+(* Rendering for the CLI: plain text (one diagnostic per line plus a
+   summary) or a single JSON document. *)
+
+type format = Text | Json
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | _ -> None
+
+let summary diags =
+  let errors, warnings = Diagnostic.count diags in
+  if errors = 0 && warnings = 0 then "ckpt-lint: no violations"
+  else Printf.sprintf "ckpt-lint: %d error(s), %d warning(s)" errors warnings
+
+let render ~format diags =
+  match format with
+  | Json -> Diagnostic.list_to_json diags
+  | Text ->
+      let lines = List.map Diagnostic.to_text diags in
+      String.concat "\n" (lines @ [ summary diags ])

@@ -1,0 +1,24 @@
+(* A lint rule: a name, a default severity, and a check that walks one
+   parsed compilation unit and reports violations through the context.
+   Rules see lint-root-relative paths so layout-based scoping (lib-only
+   rules, per-module exemptions) lives next to the rule logic. *)
+
+type ctx = {
+  path : string;  (* normalized, relative to the lint root *)
+  emit : loc:Ppxlib.Location.t -> string -> unit;
+}
+
+type t = {
+  name : string;
+  doc : string;  (* one-line catalog entry, surfaced by `ckpt-lint --rules` *)
+  default_severity : Diagnostic.severity;
+  check : ctx -> Ppxlib.Parsetree.structure -> unit;
+}
+
+let lident_name lid = String.concat "." (Ppxlib.Longident.flatten_exn lid)
+
+let lident_head lid =
+  match Ppxlib.Longident.flatten_exn lid with [] -> "" | h :: _ -> h
+
+let in_dir dir path =
+  path = dir || String.starts_with ~prefix:(dir ^ "/") path

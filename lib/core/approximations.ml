@@ -72,7 +72,7 @@ let optimal_divisible ~total_work ~checkpoint ~downtime ~recovery ~lambda =
   in
   let eval m = expected_divisible ~total_work ~chunks:m ~checkpoint ~downtime ~recovery ~lambda in
   let candidates =
-    if m_cont = infinity then [ 1; 1024; 65536 ]
+    if Float.equal m_cont infinity then [ 1; 1024; 65536 ]
     else begin
       let base = int_of_float (Float.floor m_cont) in
       [ Stdlib.max 1 base; Stdlib.max 1 (base + 1) ]

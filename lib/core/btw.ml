@@ -52,7 +52,9 @@ let pseudo_polynomial_best ?(max_total = 200_000) ~law problem =
          total max_total);
   (* M(x, t) = best additional saved work for tasks x.. starting at
      integer elapsed time t; memoized over the (few) reachable states. *)
-  let memo : (int * int, float * int) Hashtbl.t = Hashtbl.create 1024 in
+  let memo : (int * int, float * int) Hashtbl.t =
+    Hashtbl.create 1024 [@@lint.domain_safe "solver-local memo; each call owns it on one domain"]
+  in
   let rec solve x t =
     if x = n then (0.0, -1)
     else begin

@@ -75,7 +75,7 @@ let truncated_moments lambda a =
 let recovery_moments p =
   let m1 = expected_recovery p in
   let m2 =
-    if p.recovery = 0.0 then p.downtime *. p.downtime
+    if Float.equal p.recovery 0.0 then p.downtime *. p.downtime
     else begin
       let lr1, lr2 = truncated_moments p.lambda p.recovery in
       let dl1 = p.downtime +. lr1 in

@@ -8,13 +8,13 @@ type task = {
   recovery : Moldable.overhead;
 }
 
-let task_counter = ref 0
+let task_counter = Atomic.make 0
 
 let task ?name ?(workload = Moldable.Perfectly_parallel) ?recovery ~total_work ~checkpoint
     () =
   if not (total_work > 0.0) then invalid_arg "Moldable_chain.task: total_work must be positive";
-  incr task_counter;
-  let name = match name with Some n -> n | None -> Printf.sprintf "M%d" !task_counter in
+  let id = Atomic.fetch_and_add task_counter 1 + 1 in
+  let name = match name with Some n -> n | None -> Printf.sprintf "M%d" id in
   let recovery = match recovery with Some r -> r | None -> checkpoint in
   { name; total_work; workload; checkpoint; recovery }
 

@@ -72,7 +72,9 @@ let mrl_young ~law ~processors ~mean_checkpoint =
   (* Quarter-decade age buckets, residual life integrated once each.
      The cache is mutex-protected: the policy closure may be invoked
      concurrently from several domains of the Monte-Carlo pool. *)
-  let cache : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let cache : (int, float) Hashtbl.t =
+    Hashtbl.create 16 [@@lint.domain_safe "mutex-held: every access goes through [lock] below"]
+  in
   let lock = Mutex.create () in
   let bucket_of age = int_of_float (Float.round (4.0 *. log10 (Float.max age (mean *. 1e-6)))) in
   let residual age =
@@ -142,7 +144,7 @@ let remaining_expected ~lambda ~downtime ~recovery ~done_work ~todo ~checkpoint 
   if done_work < 0.0 || todo < 0.0 || checkpoint < 0.0 || downtime < 0.0 || recovery < 0.0
   then invalid_arg "Nonmemoryless.remaining_expected: negative duration";
   let a = todo +. checkpoint in
-  if a = 0.0 then 0.0
+  if Float.equal a 0.0 then 0.0
   else begin
     let p_ok = exp (-.lambda *. a) in
     let e_lost = (1.0 /. lambda) -. (a /. Float.expm1 (lambda *. a)) in
@@ -164,7 +166,9 @@ let hazard_dp ~law ~processors ~problem =
      bucket, computed on demand. Mutex-protected for the same reason as
      [mrl_young]'s cache: policies run concurrently under the parallel
      Monte-Carlo driver. *)
-  let tables : (int, float array) Hashtbl.t = Hashtbl.create 16 in
+  let tables : (int, float array) Hashtbl.t =
+    Hashtbl.create 16 [@@lint.domain_safe "mutex-held: every access goes through [lock] below"]
+  in
   let lock = Mutex.create () in
   let mean = Law.mean law in
   let bucket_of lambda_eff = int_of_float (Float.round (4.0 *. log10 lambda_eff)) in

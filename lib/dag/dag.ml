@@ -44,7 +44,10 @@ let create task_list edge_list =
   let tasks = check_tasks task_list in
   let n = Array.length tasks in
   let succs = Array.make n [] and preds = Array.make n [] in
-  let seen_edges = Hashtbl.create (List.length edge_list) in
+  let seen_edges =
+    Hashtbl.create (List.length edge_list)
+      [@@lint.domain_safe "construction-local duplicate-edge check; never escapes create"]
+  in
   List.iter
     (fun (src, dst) ->
       if src < 0 || src >= n || dst < 0 || dst >= n then

@@ -7,7 +7,9 @@ let parse_error source line fmt =
 let parse_lines source lines =
   let tasks = ref [] (* reversed *) in
   let edges = ref [] in
-  let ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let ids : (string, int) Hashtbl.t =
+    Hashtbl.create 16 [@@lint.domain_safe "parser-local symbol table; never escapes parse_lines"]
+  in
   let float_field line_no name value =
     match float_of_string_opt value with
     | Some v -> v

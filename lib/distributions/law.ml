@@ -72,7 +72,10 @@ let pdf law x =
   | Exponential { rate } -> if x < 0.0 then 0.0 else rate *. exp (-.rate *. x)
   | Weibull { shape; scale } ->
       if x < 0.0 then 0.0
-      else if x = 0.0 then (if shape < 1.0 then infinity else if shape = 1.0 then 1.0 /. scale else 0.0)
+      else if Float.equal x 0.0 then
+        (if shape < 1.0 then infinity
+         else if Float.equal shape 1.0 then 1.0 /. scale
+         else 0.0)
       else begin
         let z = x /. scale in
         shape /. scale *. (z ** (shape -. 1.0)) *. exp (-.(z ** shape))
@@ -86,7 +89,10 @@ let pdf law x =
   | Uniform { lo; hi } -> if x < lo || x >= hi then 0.0 else 1.0 /. (hi -. lo)
   | Gamma { shape; scale } ->
       if x < 0.0 then 0.0
-      else if x = 0.0 then (if shape < 1.0 then infinity else if shape = 1.0 then 1.0 /. scale else 0.0)
+      else if Float.equal x 0.0 then
+        (if shape < 1.0 then infinity
+         else if Float.equal shape 1.0 then 1.0 /. scale
+         else 0.0)
       else
         exp (((shape -. 1.0) *. log (x /. scale)) -. (x /. scale) -. Special.ln_gamma shape)
         /. scale
@@ -115,7 +121,7 @@ let survival law x =
 
 let hazard law x =
   let s = survival law x in
-  if s = 0.0 then infinity else pdf law x /. s
+  if Float.equal s 0.0 then infinity else pdf law x /. s
 
 let quantile law p =
   if p < 0.0 || p >= 1.0 then invalid_arg "Law.quantile: p must lie in [0,1)";
@@ -124,15 +130,15 @@ let quantile law p =
   | Exponential { rate } -> -.Float.log1p (-.p) /. rate
   | Weibull { shape; scale } -> scale *. ((-.Float.log1p (-.p)) ** (1.0 /. shape))
   | Log_normal { mu; sigma } ->
-      if p = 0.0 then 0.0 else exp (mu +. (sigma *. Normal.quantile p))
+      if Float.equal p 0.0 then 0.0 else exp (mu +. (sigma *. Normal.quantile p))
   | Uniform { lo; hi } -> lo +. (p *. (hi -. lo))
   | Gamma { shape; scale } ->
-      if p = 0.0 then 0.0
+      if Float.equal p 0.0 then 0.0
       else begin
         (* Bisection on the regularized incomplete gamma; the bracket is
            grown geometrically from the mean. *)
         let target = p in
-        let hi = ref (Stdlib.max 1.0 (shape *. 2.0)) in
+        let hi = ref (Float.max 1.0 (shape *. 2.0)) in
         while Special.gamma_p shape !hi < target do
           hi := !hi *. 2.0
         done;
@@ -198,8 +204,8 @@ let conditional_remaining_sample law ~elapsed rng =
       let f0 = cdf law elapsed in
       let u = Rng.float rng in
       let p = f0 +. (u *. (1.0 -. f0)) in
-      let p = Stdlib.min p (1.0 -. 1e-16) in
-      Stdlib.max 0.0 (quantile law p -. elapsed)
+      let p = Float.min p (1.0 -. 1e-16) in
+      Float.max 0.0 (quantile law p -. elapsed)
 
 (* Composite Simpson on [a, b]. *)
 let simpson f a b n =
@@ -214,7 +220,7 @@ let simpson f a b n =
 
 let expected_min law ~upto =
   if upto < 0.0 then invalid_arg "Law.expected_min: negative window";
-  if upto = 0.0 then 0.0
+  if Float.equal upto 0.0 then 0.0
   else begin
     match law with
     | Exponential { rate } -> -.Float.expm1 (-.rate *. upto) /. rate

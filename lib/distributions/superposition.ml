@@ -1,4 +1,3 @@
-module Rng = Ckpt_prng.Rng
 
 type t = { law : Law.t; ages : float array }
 
@@ -33,7 +32,7 @@ let hazard t x =
 
 let as_weibull t =
   match t.law with
-  | Law.Weibull { shape; scale } when Array.for_all (( = ) 0.0) t.ages ->
+  | Law.Weibull { shape; scale } when Array.for_all (Float.equal 0.0) t.ages ->
       let p = float_of_int (Array.length t.ages) in
       Some (Law.weibull ~shape ~scale:(scale *. (p ** (-1.0 /. shape))))
   | _ -> None
@@ -67,7 +66,7 @@ let mean t =
 
 let quantile t p =
   if p < 0.0 || p >= 1.0 then invalid_arg "Superposition.quantile: p must lie in [0,1)";
-  if p = 0.0 then 0.0
+  if Float.equal p 0.0 then 0.0
   else begin
     (* Bracket then bisect on the survival function. *)
     let target = 1.0 -. p in

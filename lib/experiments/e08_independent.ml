@@ -29,7 +29,9 @@ let run config =
   in
   List.iter
     (fun lambda ->
-      let stats = Hashtbl.create 8 in
+      let stats =
+        Hashtbl.create 8 [@@lint.domain_safe "per-lambda aggregation on the driver domain only"]
+      in
       for trial = 1 to trials do
         let rng = Common.rng config (Printf.sprintf "e8-small-%g-%d" lambda trial) in
         let works = List.init 12 (fun _ -> Rng.float_range rng 1.0 10.0) in

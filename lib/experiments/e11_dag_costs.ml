@@ -1,8 +1,6 @@
 module Table = Ckpt_stats.Table
 module Task = Ckpt_dag.Task
-module Dag = Ckpt_dag.Dag
 module Generate = Ckpt_dag.Generate
-module Rng = Ckpt_prng.Rng
 module Dag_sched = Ckpt_core.Dag_sched
 
 let name = "E11"

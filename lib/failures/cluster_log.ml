@@ -13,7 +13,7 @@ let generate ?(heterogeneity = 0.0) ~law ~nodes ~horizon rng =
   let make_node node_id =
     let node_rng = Rng.substream rng (Printf.sprintf "node-%d" node_id) in
     let scale =
-      if heterogeneity = 0.0 then 1.0
+      if Float.equal heterogeneity 0.0 then 1.0
       else Rng.float_range node_rng (1.0 -. heterogeneity) (1.0 +. heterogeneity)
     in
     let rec collect acc time =

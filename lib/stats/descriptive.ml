@@ -31,11 +31,11 @@ let quantile xs q =
   let frac = h -. float_of_int lo in
   (* Exact order statistic when the index is integral: interpolating
      with frac = 0 would turn an infinite neighbour into 0 * inf = NaN. *)
-  if frac = 0.0 then sorted.(lo)
+  if Float.equal frac 0.0 then sorted.(lo)
   else sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
 
 let median xs = quantile xs 0.5
 
 let relative_error ~actual ~reference =
-  if reference = 0.0 then (if actual = 0.0 then 0.0 else infinity)
+  if Float.equal reference 0.0 then (if Float.equal actual 0.0 then 0.0 else infinity)
   else Float.abs (actual -. reference) /. Float.abs reference

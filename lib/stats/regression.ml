@@ -13,12 +13,12 @@ let linear pts =
       Kahan.add syy ((y -. my) *. (y -. my)))
     pts;
   let sxx_v = Kahan.sum sxx in
-  if sxx_v = 0.0 then invalid_arg "Regression.linear: x values are all equal";
+  if Float.equal sxx_v 0.0 then invalid_arg "Regression.linear: x values are all equal";
   let slope = Kahan.sum sxy /. sxx_v in
   let intercept = my -. (slope *. mx) in
   let syy_v = Kahan.sum syy in
   let r_squared =
-    if syy_v = 0.0 then 1.0 else Kahan.sum sxy *. Kahan.sum sxy /. (sxx_v *. syy_v)
+    if Float.equal syy_v 0.0 then 1.0 else Kahan.sum sxy *. Kahan.sum sxy /. (sxx_v *. syy_v)
   in
   { slope; intercept; r_squared }
 

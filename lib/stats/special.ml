@@ -64,19 +64,19 @@ let gamma_q_cont_frac a x =
 let gamma_p a x =
   if a <= 0.0 then invalid_arg "Special.gamma_p: a must be positive";
   if x < 0.0 then invalid_arg "Special.gamma_p: x must be non-negative";
-  if x = 0.0 then 0.0
+  if Float.equal x 0.0 then 0.0
   else if x < a +. 1.0 then gamma_p_series a x
   else 1.0 -. gamma_q_cont_frac a x
 
 let gamma_q a x =
   if a <= 0.0 then invalid_arg "Special.gamma_q: a must be positive";
   if x < 0.0 then invalid_arg "Special.gamma_q: x must be non-negative";
-  if x = 0.0 then 1.0
+  if Float.equal x 0.0 then 1.0
   else if x < a +. 1.0 then 1.0 -. gamma_p_series a x
   else gamma_q_cont_frac a x
 
 let erf x =
-  if x = 0.0 then 0.0
+  if Float.equal x 0.0 then 0.0
   else begin
     let v = gamma_p 0.5 (x *. x) in
     if x > 0.0 then v else -.v

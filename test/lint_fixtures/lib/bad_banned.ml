@@ -1,0 +1,5 @@
+(* Fixture: banned-in-lib — all four are flagged. *)
+let coerce x = Obj.magic x
+let die () = exit 1
+let report n = Printf.printf "n=%d\n" n
+let shout s = print_endline s

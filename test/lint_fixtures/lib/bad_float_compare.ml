@@ -1,0 +1,4 @@
+(* Fixture: float-polymorphic-compare — every comparison is flagged. *)
+let eq x = x = 1.0
+let cmp a = compare (sqrt a) 2.0
+let clamp x = min x (1.0 /. x)

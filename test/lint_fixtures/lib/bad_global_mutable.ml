@@ -1,0 +1,14 @@
+(* Fixture: unguarded-global-mutable — five findings: three bare
+   top-level bindings, one annotation missing its reason string, and a
+   function-local hash table. *)
+type state = { mutable hits : int; total : int }
+
+let registry = Hashtbl.create 16
+let count = ref 0
+let shared = { hits = 0; total = 0 }
+let missing_reason = ref [] [@@lint.domain_safe]
+
+let lookup tbl k =
+  let memo = Hashtbl.create 8 in
+  Hashtbl.add memo k tbl;
+  Hashtbl.find memo k

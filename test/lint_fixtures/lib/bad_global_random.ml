@@ -1,0 +1,5 @@
+(* Fixture: no-global-random — value uses and the module alias are flagged. *)
+let draw () = Random.float 1.0
+let seed () = Random.self_init ()
+
+module R = Random.State

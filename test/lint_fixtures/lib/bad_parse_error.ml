@@ -1,0 +1,3 @@
+(* Fixture: unparseable input — the driver reports a parse-error
+   diagnostic instead of crashing. *)
+let = (

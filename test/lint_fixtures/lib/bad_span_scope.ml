@@ -1,0 +1,7 @@
+(* Fixture: span-scope-safety — the raw pair leaks the scope if [f]
+   raises; both calls are flagged. *)
+let step f =
+  Ckpt_obs.Span.enter "step";
+  let r = f () in
+  Ckpt_obs.Span.exit ();
+  r

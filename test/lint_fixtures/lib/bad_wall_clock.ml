@@ -1,0 +1,3 @@
+(* Fixture: no-wall-clock — both reads are flagged. *)
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

@@ -1,0 +1,3 @@
+(* Fixture: banned-in-lib — formatter-based output and exceptions. *)
+let report ppf n = Format.fprintf ppf "n=%d@." n
+let fail msg = invalid_arg msg

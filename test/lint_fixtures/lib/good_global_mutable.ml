@@ -1,0 +1,17 @@
+(* Fixture: unguarded-global-mutable — nothing here is flagged: sync
+   primitives are the fix, annotated bindings carry a reason, and local
+   refs are idiomatic accumulators. *)
+type state = { mutable hits : int; total : int }
+
+let lock = Mutex.create ()
+let registry = Hashtbl.create 16 [@@lint.domain_safe "mutex-held: all access under [lock]"]
+let count = Atomic.make 0
+
+let totals xs =
+  let acc = ref 0.0 in
+  List.iter (fun x -> acc := !acc +. x) xs;
+  !acc
+
+let scan items =
+  let seen = Hashtbl.create 8 [@@lint.domain_safe "call-local; never escapes scan"] in
+  Hashtbl.length seen + List.length items

@@ -1,0 +1,3 @@
+(* Fixture: no-global-random — seeded streams are fine. *)
+let draw rng = Ckpt_prng.Rng.uniform rng
+let split rng = Ckpt_prng.Rng.split rng

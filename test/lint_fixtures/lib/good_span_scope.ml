@@ -1,0 +1,3 @@
+(* Fixture: span-scope-safety — the exception-safe combinator. *)
+let step f = Ckpt_obs.Span.with_ ~name:"step" f
+let mark () = Ckpt_obs.Span.instant "mark"

@@ -1,0 +1,3 @@
+(* Fixture: no-wall-clock — monotonic clock reads are fine. *)
+let now_ns () = Ckpt_obs.Clock.now_ns ()
+let timed f = Ckpt_obs.Clock.time f

@@ -19,7 +19,9 @@ let test_task_validation () =
   Alcotest.(check string) "default name" "T4" t.Task.name;
   let t' = Task.with_costs t ~checkpoint_cost:1.0 ~recovery_cost:2.0 in
   Alcotest.(check bool) "with_costs" true
-    (t'.Task.checkpoint_cost = 1.0 && t'.Task.recovery_cost = 2.0 && t'.Task.work = 2.0)
+    (Float.equal t'.Task.checkpoint_cost 1.0
+    && Float.equal t'.Task.recovery_cost 2.0
+    && Float.equal t'.Task.work 2.0)
 
 let diamond () =
   (* 0 -> {1, 2} -> 3 *)
@@ -46,7 +48,7 @@ let test_structure_accessors () =
   Alcotest.(check (list int)) "succs of 0" [ 1; 2 ] (Dag.successors d 0);
   Alcotest.(check (list int)) "preds of 3" [ 1; 2 ] (Dag.predecessors d 3);
   Alcotest.(check (list int)) "reachable from 0" [ 1; 2; 3 ] (Dag.reachable_from d 0);
-  Alcotest.(check bool) "total work" true (Dag.total_work d = 4.0)
+  Alcotest.(check bool) "total work" true (Float.equal (Dag.total_work d) 4.0)
 
 let test_is_chain () =
   let chain = Dag.of_chain [ mk 0; mk 1; mk 2 ] in
@@ -92,7 +94,7 @@ let test_critical_path () =
   let tasks = [ Task.make ~id:0 ~work:1.0 (); Task.make ~id:1 ~work:5.0 ();
                 Task.make ~id:2 ~work:2.0 (); Task.make ~id:3 ~work:1.0 () ] in
   let d = Dag.create tasks [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
-  Alcotest.(check bool) "critical path = 1+5+1" true (Dag.critical_path d = 7.0)
+  Alcotest.(check bool) "critical path = 1+5+1" true (Float.equal (Dag.critical_path d) 7.0)
 
 let test_to_dot () =
   let dot = Dag.to_dot (diamond ()) in

@@ -18,7 +18,7 @@ let test_heap_basics () =
   Min_heap.push h 2.0 "b";
   Alcotest.(check int) "size" 3 (Min_heap.size h);
   (match Min_heap.peek h with
-  | Some (t, v) -> Alcotest.(check bool) "peek smallest" true (t = 1.0 && v = "a")
+  | Some (t, v) -> Alcotest.(check bool) "peek smallest" true (Float.equal t 1.0 && v = "a")
   | None -> Alcotest.fail "peek failed");
   (match Min_heap.pop h with
   | Some (1.0, "a") -> ()
@@ -113,16 +113,16 @@ let test_renewal_skip_consumes () =
   let rng = Rng.create ~seed:109L in
   let stream = Failure_stream.renewal ~law ~processors:1 rng in
   Alcotest.(check bool) "first failure at 10" true
-    (Failure_stream.next_after stream 0.0 = 10.0);
+    (Float.equal (Failure_stream.next_after stream 0.0) 10.0);
   (* Skip past 25: failures at 10 and 20 are consumed, next is 30. *)
   Alcotest.(check bool) "skipping renews clocks" true
-    (Failure_stream.next_after stream 25.0 = 30.0)
+    (Float.equal (Failure_stream.next_after stream 25.0) 30.0)
 
 let test_replay () =
   let stream = Failure_stream.of_times [| 1.0; 2.5; 7.0 |] in
-  Alcotest.(check bool) "first" true (Failure_stream.next_after stream 0.0 = 1.0);
-  Alcotest.(check bool) "skip to 3" true (Failure_stream.next_after stream 3.0 = 7.0);
-  Alcotest.(check bool) "exhausted" true (Failure_stream.next_after stream 8.0 = infinity);
+  Alcotest.(check bool) "first" true (Float.equal (Failure_stream.next_after stream 0.0) 1.0);
+  Alcotest.(check bool) "skip to 3" true (Float.equal (Failure_stream.next_after stream 3.0) 7.0);
+  Alcotest.(check bool) "exhausted" true (Float.equal (Failure_stream.next_after stream 8.0) infinity);
   Alcotest.check_raises "unsorted rejected"
     (Invalid_argument "Failure_stream.of_times: times must be sorted") (fun () ->
       ignore (Failure_stream.of_times [| 2.0; 1.0 |]))

@@ -28,4 +28,5 @@ let () =
       ("output-tools", Test_output_tools.suite);
       ("rejuvenation", Test_rejuvenation.suite);
       ("obs", Test_obs.suite);
+      ("lint", Test_lint.suite);
     ]

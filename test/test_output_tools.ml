@@ -50,7 +50,7 @@ let test_law_spec_parse () =
   | Law.Log_normal _ as law -> close ~tol:1e-9 "lognormal mean" 200.0 (Law.mean law)
   | law -> Alcotest.fail (Law.to_string law));
   (match Law_spec.parse_exn "uniform:2:8" with
-  | Law.Uniform { lo; hi } -> Alcotest.(check bool) "bounds" true (lo = 2.0 && hi = 8.0)
+  | Law.Uniform { lo; hi } -> Alcotest.(check bool) "bounds" true (Float.equal lo 2.0 && Float.equal hi 8.0)
   | law -> Alcotest.fail (Law.to_string law));
   (match Law_spec.parse_exn "gamma:2:10" with
   | Law.Gamma _ as law -> close ~tol:1e-9 "gamma mean" 10.0 (Law.mean law)
