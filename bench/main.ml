@@ -1,10 +1,11 @@
-(* Benchmark harness.
+(* Benchmark harness — thin human-facing driver over the Ckpt_bench
+   library (the machine-readable path is bin/ckpt_bench.exe; both run
+   the same Ckpt_bench.Cases registry, see docs/BENCHMARKS.md).
 
-   Part 1 — Bechamel micro-benchmarks of the performance-critical kernels
-   (one per table-producing code path): the Proposition 1 closed form,
-   the chain DP at several sizes (the O(n^2) growth is visible in the
-   estimates), the exhaustive solvers, the simulator and the failure
-   streams.
+   Part 1 — micro/macro benchmarks of the performance-critical kernels:
+   the Proposition 1 closed form, the chain DP at n in {50, 200, 800}
+   (the O(n^2) growth is visible across the triple), the exhaustive
+   solvers, the simulator and the failure streams.
 
    Part 2 — regeneration of every reproduction table (experiments E1-E17;
    the paper being theory-only, its "tables and figures" are the
@@ -19,197 +20,52 @@
    Smoke:     dune exec bench/main.exe -- --smoke   (scaling section only,
               reduced runs; exercises the domain pool on small CI runners)
    Both also take --metrics table|json (observability snapshot on exit;
-   json embeds it in a single object CI greps for the required keys)
-   and --trace FILE (Chrome trace_event; see docs/OBSERVABILITY.md).
-*)
+   json embeds it in a single object) and --trace FILE (Chrome
+   trace_event; see docs/OBSERVABILITY.md). *)
 
-open Bechamel
-open Toolkit
+module Cases = Ckpt_bench.Cases
+module Runner = Ckpt_bench.Runner
+module Schema = Ckpt_bench.Schema
+module Monte_carlo = Ckpt_sim.Monte_carlo
 
-module Generate = Ckpt_dag.Generate
-module Rng = Ckpt_prng.Rng
-module Law = Ckpt_dist.Law
-module Chain_problem = Ckpt_core.Chain_problem
-module Chain_dp = Ckpt_core.Chain_dp
-module Schedule = Ckpt_core.Schedule
-module Expected_time = Ckpt_core.Expected_time
-module Brute_force = Ckpt_core.Brute_force
-module Sim_run = Ckpt_sim.Sim_run
-module Failure_stream = Ckpt_failures.Failure_stream
+let pp_time s =
+  if Float.compare s 1e-6 < 0 then Printf.sprintf "%.1f ns" (s *. 1e9)
+  else if Float.compare s 1e-3 < 0 then Printf.sprintf "%.2f us" (s *. 1e6)
+  else if Float.compare s 1.0 < 0 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.3f s" s
 
-let chain_problem n =
-  let rng = Rng.create ~seed:(Int64.of_int (9000 + n)) in
-  let spec = Generate.uniform_costs () in
-  let dag = Generate.chain rng spec ~n in
-  Chain_problem.of_dag ~downtime:0.2 ~lambda:(10.0 /. float_of_int n) dag
-
-let bench_prop1 =
-  Test.make ~name:"prop1-closed-form"
-    (Staged.stage (fun () ->
-         Expected_time.expected_v ~work:100.0 ~checkpoint:5.0 ~downtime:1.0 ~recovery:5.0
-           ~lambda:1e-4))
-
-let bench_dp n =
-  let problem = chain_problem n in
-  Test.make ~name:(Printf.sprintf "chain-dp-%d" n)
-    (Staged.stage (fun () -> ignore (Chain_dp.solve problem)))
-
-let bench_dp_memoized =
-  let problem = chain_problem 256 in
-  Test.make ~name:"chain-dp-memoized-256"
-    (Staged.stage (fun () -> ignore (Chain_dp.solve_memoized problem)))
-
-let bench_brute_force =
-  let problem = chain_problem 16 in
-  Test.make ~name:"chain-brute-force-16"
-    (Staged.stage (fun () -> ignore (Brute_force.chain_best problem)))
-
-let bench_partition =
-  let works = Array.init 12 (fun i -> 1.0 +. float_of_int (i mod 5)) in
-  Test.make ~name:"partition-dp-12"
-    (Staged.stage (fun () ->
-         ignore
-           (Brute_force.partition_best ~lambda:0.05 ~checkpoint:0.5 ~recovery:0.5
-              ~downtime:0.0 works)))
-
-let bench_schedule_eval =
-  let problem = chain_problem 1000 in
-  let schedule = Schedule.every_k problem 5 in
-  Test.make ~name:"schedule-expectation-1000"
-    (Staged.stage (fun () -> ignore (Schedule.expected_makespan schedule)))
-
-let bench_simulator =
-  let problem = chain_problem 64 in
-  let schedule = Schedule.every_k problem 4 in
-  let segments = Schedule.to_sim_segments schedule in
-  let rng = Rng.create ~seed:4242L in
-  Test.make ~name:"simulate-64-task-run"
-    (Staged.stage (fun () ->
-         let stream = Failure_stream.poisson ~rate:0.05 (Rng.split rng) in
-         ignore
-           (Sim_run.run_segments ~downtime:0.2
-              ~next_failure:(Failure_stream.next_after stream)
-              segments)))
-
-let bench_weibull_stream =
-  let rng = Rng.create ~seed:777L in
-  let law = Law.weibull ~shape:0.7 ~scale:100.0 in
-  Test.make ~name:"weibull-renewal-next-failure"
-    (Staged.stage (fun () ->
-         let stream = Failure_stream.renewal ~law ~processors:16 (Rng.split rng) in
-         ignore (Failure_stream.next_after stream 0.0)))
-
-let bench_budget_dp =
-  let problem = chain_problem 128 in
-  Test.make ~name:"chain-dp-budget-128-k16"
-    (Staged.stage (fun () -> ignore (Chain_dp.solve_with_budget problem ~checkpoints:16)))
-
-let bench_superposition =
-  let law = Law.weibull ~shape:0.7 ~scale:100.0 in
-  let t =
-    Ckpt_dist.Superposition.aged ~law ~ages:(Array.init 64 (fun i -> float_of_int i))
-  in
-  Test.make ~name:"superposition-survival-64"
-    (Staged.stage (fun () -> ignore (Ckpt_dist.Superposition.survival t 10.0)))
-
-let bench_mrl =
-  let law = Law.log_normal ~mu:1.0 ~sigma:1.2 in
-  Test.make ~name:"mean-residual-life-lognormal"
-    (Staged.stage (fun () -> ignore (Law.mean_residual_life law ~elapsed:5.0)))
-
-let bench_law_fit =
-  let rng = Rng.create ~seed:31415L in
-  let law = Law.weibull ~shape:0.7 ~scale:50.0 in
-  let xs = Array.init 1000 (fun _ -> Law.sample law (Rng.split rng)) in
-  Test.make ~name:"weibull-mle-1000-samples"
-    (Staged.stage (fun () -> ignore (Ckpt_dist.Law_fit.weibull xs)))
-
-let bench_btw =
-  let problem =
-    Ckpt_core.Chain_problem.uniform ~lambda:0.05 ~checkpoint:1.0 ~recovery:1.0
-      (List.init 12 (fun i -> float_of_int (1 + (i mod 5))))
-  in
-  let law = Law.weibull ~shape:0.7 ~scale:30.0 in
-  Test.make ~name:"btw-pseudo-poly-12"
-    (Staged.stage (fun () -> ignore (Ckpt_core.Btw.pseudo_polynomial_best ~law problem)))
-
-let bench_moldable_chain =
-  let tasks =
-    List.init 8 (fun i ->
-        Ckpt_core.Moldable_chain.task
-          ~total_work:(2000.0 +. (500.0 *. float_of_int i))
-          ~checkpoint:(Ckpt_core.Moldable.Proportional 50.0) ())
-  in
-  let problem =
-    Ckpt_core.Moldable_chain.problem ~downtime:5.0 ~max_processors:256 ~proc_rate:1e-6
-      tasks
-  in
-  Test.make ~name:"moldable-chain-dp-8x9"
-    (Staged.stage (fun () -> ignore (Ckpt_core.Moldable_chain.solve problem)))
-
-let tests =
-  Test.make_grouped ~name:"checkpoint-workflows"
-    [
-      bench_prop1; bench_dp 64; bench_dp 256; bench_dp 1024; bench_dp_memoized;
-      bench_budget_dp; bench_brute_force; bench_partition; bench_schedule_eval;
-      bench_simulator; bench_weibull_stream; bench_superposition; bench_mrl;
-      bench_law_fit; bench_btw; bench_moldable_chain;
-    ]
-
-let run_benchmarks () =
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
-  let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+let run_benchmarks ~quick =
   let table =
     Ckpt_stats.Table.create ~title:"micro-benchmarks (monotonic clock)"
-      ~columns:[ ("kernel", Ckpt_stats.Table.Left); ("time/run", Ckpt_stats.Table.Right);
-                 ("r^2", Ckpt_stats.Table.Right) ]
+      ~columns:
+        [ ("kernel", Ckpt_stats.Table.Left); ("time/run", Ckpt_stats.Table.Right);
+          ("stddev", Ckpt_stats.Table.Right); ("samples", Ckpt_stats.Table.Right) ]
   in
-  let rows =
-    Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results []
-    |> List.sort compare
-  in
-  let pp_time ns =
-    if ns < 1e3 then Printf.sprintf "%.1f ns" ns
-    else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
-    else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-    else Printf.sprintf "%.3f s" (ns /. 1e9)
-  in
-  List.iter
-    (fun (name, ols_result) ->
-      let time =
-        match Analyze.OLS.estimates ols_result with
-        | Some (t :: _) -> pp_time t
-        | _ -> "n/a"
-      in
-      let r2 =
-        match Analyze.OLS.r_square ols_result with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "n/a"
-      in
-      Ckpt_stats.Table.add_row table [ name; time; r2 ])
-    rows;
+  Cases.all ~quick
+  (* The mc-pool cases are Part 3's subject; keep Part 1 to the kernels. *)
+  |> List.filter (fun (c : Cases.case) -> not (List.mem "mc" c.Cases.tags))
+  |> List.iter (fun case ->
+         let r = Runner.run_case ~quick case in
+         Ckpt_stats.Table.add_row table
+           [
+             r.Schema.name; pp_time r.Schema.mean; pp_time r.Schema.stddev;
+             string_of_int r.Schema.samples;
+           ]);
   Ckpt_stats.Table.print table
 
 (* Part 3: wall-clock scaling of the parallel Monte-Carlo engine. Also
    asserts the determinism guarantee: every domain count must produce
    the bit-identical estimate. *)
-let run_scaling ~runs =
-  let module Monte_carlo = Ckpt_sim.Monte_carlo in
-  let segments = [ Sim_run.segment ~work:100.0 ~checkpoint:5.0 ~recovery:5.0 ] in
+let run_scaling ~quick =
   let estimate domains =
-    let rng = Rng.create ~seed:20_260_806L in
-    Ckpt_obs.Clock.time (fun () ->
-        Monte_carlo.estimate_segments ~domains ~model:(Monte_carlo.Poisson_rate 0.01)
-          ~downtime:1.0 ~runs ~rng segments)
+    Ckpt_obs.Clock.time (fun () -> Cases.mc_scaling_estimate ~quick ~domains)
   in
   let table =
     Ckpt_stats.Table.create
       ~title:
         (Printf.sprintf "parallel Monte-Carlo scaling (estimate_segments, %d runs, %d cores)"
-           runs (Domain.recommended_domain_count ()))
+           (if quick then 10_000 else 100_000)
+           (Domain.recommended_domain_count ()))
       ~columns:
         [ ("domains", Ckpt_stats.Table.Right); ("wall time", Ckpt_stats.Table.Right);
           ("speedup", Ckpt_stats.Table.Right); ("mean", Ckpt_stats.Table.Right);
@@ -217,6 +73,7 @@ let run_scaling ~runs =
   in
   let baseline_time = ref 0.0 in
   let baseline_mean = ref nan in
+  let all_identical = ref true in
   List.iter
     (fun domains ->
       let time, e = estimate domains in
@@ -225,8 +82,10 @@ let run_scaling ~runs =
         baseline_mean := e.Monte_carlo.mean
       end;
       let identical = Float.equal e.Monte_carlo.mean !baseline_mean in
-      if not identical then
-        Printf.eprintf "BUG: estimate at %d domains differs from 1-domain run\n" domains;
+      if not identical then begin
+        all_identical := false;
+        Printf.eprintf "BUG: estimate at %d domains differs from 1-domain run\n" domains
+      end;
       Ckpt_stats.Table.add_row table
         [
           string_of_int domains; Printf.sprintf "%.3f s" time;
@@ -235,7 +94,8 @@ let run_scaling ~runs =
           (if identical then "yes" else "NO");
         ])
     [ 1; 2; 4; 8 ];
-  Ckpt_stats.Table.print table
+  Ckpt_stats.Table.print table;
+  !all_identical
 
 (* The bench is not a cmdliner tool, so the observability flags are
    scanned from argv by hand: --metrics table|json and --trace FILE. *)
@@ -264,7 +124,7 @@ let () =
     print_endline "================================================================";
     print_endline " Part 1: micro-benchmarks";
     print_endline "================================================================";
-    run_benchmarks ();
+    run_benchmarks ~quick;
     print_newline ();
     print_endline "================================================================";
     print_endline " Part 2: reproduction tables (experiments E1-E17)";
@@ -280,8 +140,9 @@ let () =
   print_endline "================================================================";
   print_endline " Part 3: parallel Monte-Carlo scaling (1/2/4/8 domains)";
   print_endline "================================================================";
-  let runs = if quick then 10_000 else 100_000 in
-  run_scaling ~runs;
+  (* A broken bit-identical guarantee must fail the process (CI runs
+     the smoke under `set -e` semantics), not just print a BUG line. *)
+  let identical = run_scaling ~quick in
   (match metrics_fmt with
   | None -> ()
   | Some `Table ->
@@ -289,8 +150,11 @@ let () =
       print_string (Ckpt_obs.Metrics.render_table (Ckpt_obs.Metrics.snapshot ()))
   | Some `Json ->
       (* One line, with the snapshot embedded next to the bench config so
-         CI can grep a single JSON object for the required keys. *)
+         a consumer reads a single JSON object (ckpt-bench check makes
+         the typed assertions in CI; see docs/BENCHMARKS.md). *)
       Printf.printf "{\"bench\":{\"smoke\":%b,\"quick\":%b,\"scaling_runs\":%d},%s}\n"
-        smoke quick runs
+        smoke quick
+        (if quick then 10_000 else 100_000)
         (Ckpt_obs.Metrics.to_json_fields (Ckpt_obs.Metrics.snapshot ())));
-  Ckpt_obs.Sink.flush ()
+  Ckpt_obs.Sink.flush ();
+  if not identical then exit 1

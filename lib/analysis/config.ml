@@ -1,7 +1,8 @@
-(* Hand-rolled parser for the checked-in `lint.toml` (a strict TOML
-   subset — no new dependencies). Supported grammar:
+(* Typed view of the checked-in `lint.toml`, parsed by the shared
+   strict-TOML machinery in {!Ckpt_toml.Toml_lite} (the grammar is
+   documented there; `bench.toml` uses the same parser). Supported
+   shape:
 
-     # comment (outside strings)
      [lint]
      roots   = ["lib", "bin"]
      exclude = ["test/lint_fixtures"]
@@ -10,10 +11,11 @@
      severity = "error"          # "error" | "warning" | "off"
      allow    = ["lib/obs/sink.ml", "lib/experiments"]
 
-   Arrays may span several lines. Strings have no escape sequences.
    Unknown sections or keys are hard errors so typos cannot silently
    disable a rule. Allow/exclude entries are path prefixes matched at
    '/' boundaries against lint-root-relative paths. *)
+
+module Toml = Ckpt_toml.Toml_lite
 
 type rule_config = { severity : string option; allow : string list }
 
@@ -24,110 +26,11 @@ type t = {
 }
 
 let default = { roots = [ "lib"; "bin"; "bench"; "test" ]; exclude = []; rules = [] }
-
-let fail ~file ~line msg =
-  failwith (Printf.sprintf "%s:%d: %s" file line msg)
-
-(* Drop a '#' comment, tracking double quotes so '#' inside a string
-   survives. *)
-let strip_comment line =
-  let buf = Buffer.create (String.length line) in
-  let in_string = ref false in
-  (try
-     String.iter
-       (fun c ->
-         if c = '"' then begin
-           in_string := not !in_string;
-           Buffer.add_char buf c
-         end
-         else if c = '#' && not !in_string then raise Exit
-         else Buffer.add_char buf c)
-       line
-   with Exit -> ());
-  Buffer.contents buf
-
-let bracket_balance s =
-  let depth = ref 0 and in_string = ref false in
-  String.iter
-    (fun c ->
-      if c = '"' then in_string := not !in_string
-      else if not !in_string then
-        if c = '[' then incr depth else if c = ']' then decr depth)
-    s;
-  !depth
-
-let parse_string_lit ~file ~line s =
-  let s = String.trim s in
-  let n = String.length s in
-  if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then
-    fail ~file ~line (Printf.sprintf "expected a double-quoted string, got %S" s);
-  String.sub s 1 (n - 2)
-
-(* Split "a", "b", "c" on commas outside strings. *)
-let split_items s =
-  let items = ref [] and buf = Buffer.create 32 and in_string = ref false in
-  String.iter
-    (fun c ->
-      if c = '"' then begin
-        in_string := not !in_string;
-        Buffer.add_char buf c
-      end
-      else if c = ',' && not !in_string then begin
-        items := Buffer.contents buf :: !items;
-        Buffer.clear buf
-      end
-      else Buffer.add_char buf c)
-    s;
-  items := Buffer.contents buf :: !items;
-  List.rev_map String.trim !items |> List.filter (fun s -> s <> "")
-
-let parse_array ~file ~line s =
-  let s = String.trim s in
-  let n = String.length s in
-  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
-    fail ~file ~line (Printf.sprintf "expected an array [...], got %S" s);
-  split_items (String.sub s 1 (n - 2))
-  |> List.map (fun item -> parse_string_lit ~file ~line item)
-
-let parse_section_header ~file ~line s =
-  let n = String.length s in
-  let name = String.trim (String.sub s 1 (n - 2)) in
-  if name = "" then fail ~file ~line "empty section header";
-  String.iter
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> ()
-      | c -> fail ~file ~line (Printf.sprintf "bad character %C in section header" c))
-    name;
-  name
-
 let severities = [ "error"; "warning"; "off" ]
 
 let parse_string ?(filename = "lint.toml") contents =
   let file = filename in
-  let lines = String.split_on_char '\n' contents in
-  (* Fold physical lines into logical lines, joining while an array is
-     still open; keep the first physical line's number for messages. *)
-  let logical =
-    let rec go acc pending lines =
-      match (pending, lines) with
-      | None, [] -> List.rev acc
-      | Some (lnum, s), [] ->
-          if bracket_balance s <> 0 then fail ~file ~line:lnum "unterminated array";
-          List.rev ((lnum, s) :: acc)
-      | None, (lnum, l) :: rest ->
-          let l = strip_comment l in
-          if bracket_balance l > 0 then go acc (Some (lnum, l)) rest
-          else go ((lnum, l) :: acc) None rest
-      | Some (lnum, s), (_, l) :: rest ->
-          let s = s ^ " " ^ strip_comment l in
-          if bracket_balance s > 0 then go acc (Some (lnum, s)) rest
-          else go ((lnum, s) :: acc) None rest
-    in
-    go [] None (List.mapi (fun i l -> (i + 1, l)) lines)
-  in
   let config = ref default in
-  let section = ref None in
   let rule_update name f =
     let current =
       match List.assoc_opt name !config.rules with
@@ -138,49 +41,38 @@ let parse_string ?(filename = "lint.toml") contents =
       { !config with
         rules = (name, f current) :: List.remove_assoc name !config.rules }
   in
+  let apply_lint (b : Toml.binding) =
+    match b.key with
+    | "roots" -> config := { !config with roots = Toml.as_array ~file b }
+    | "exclude" -> config := { !config with exclude = Toml.as_array ~file b }
+    | key ->
+        Toml.fail ~file ~line:b.line (Printf.sprintf "unknown key %S in [lint]" key)
+  in
+  let apply_rule name (b : Toml.binding) =
+    match b.key with
+    | "severity" ->
+        let s = Toml.as_string ~file b in
+        if not (List.mem s severities) then
+          Toml.fail ~file ~line:b.line
+            (Printf.sprintf "severity must be one of error/warning/off, got %S" s);
+        rule_update name (fun rc -> { rc with severity = Some s })
+    | "allow" ->
+        let paths = Toml.as_array ~file b in
+        rule_update name (fun rc -> { rc with allow = rc.allow @ paths })
+    | key ->
+        Toml.fail ~file ~line:b.line
+          (Printf.sprintf "unknown key %S in [rule.%s]" key name)
+  in
   List.iter
-    (fun (lnum, raw) ->
-      let line = String.trim raw in
-      if line = "" then ()
-      else if String.length line >= 2 && line.[0] = '[' && line.[String.length line - 1] = ']'
-      then begin
-        let name = parse_section_header ~file ~line:lnum line in
-        match name with
-        | "lint" -> section := Some `Lint
-        | _ when String.length name > 5 && String.sub name 0 5 = "rule." ->
-            section := Some (`Rule (String.sub name 5 (String.length name - 5)))
-        | _ -> fail ~file ~line:lnum (Printf.sprintf "unknown section [%s]" name)
-      end
-      else
-        match String.index_opt line '=' with
-        | None -> fail ~file ~line:lnum (Printf.sprintf "expected key = value, got %S" line)
-        | Some i -> (
-            let key = String.trim (String.sub line 0 i) in
-            let value = String.sub line (i + 1) (String.length line - i - 1) in
-            match !section with
-            | None -> fail ~file ~line:lnum "key outside any [section]"
-            | Some `Lint -> (
-                match key with
-                | "roots" ->
-                    config := { !config with roots = parse_array ~file ~line:lnum value }
-                | "exclude" ->
-                    config := { !config with exclude = parse_array ~file ~line:lnum value }
-                | _ -> fail ~file ~line:lnum (Printf.sprintf "unknown key %S in [lint]" key))
-            | Some (`Rule name) -> (
-                match key with
-                | "severity" ->
-                    let s = parse_string_lit ~file ~line:lnum value in
-                    if not (List.mem s severities) then
-                      fail ~file ~line:lnum
-                        (Printf.sprintf "severity must be one of error/warning/off, got %S" s);
-                    rule_update name (fun rc -> { rc with severity = Some s })
-                | "allow" ->
-                    let paths = parse_array ~file ~line:lnum value in
-                    rule_update name (fun rc -> { rc with allow = rc.allow @ paths })
-                | _ ->
-                    fail ~file ~line:lnum
-                      (Printf.sprintf "unknown key %S in [rule.%s]" key name))))
-    logical;
+    (fun (s : Toml.section) ->
+      match s.name with
+      | "lint" -> List.iter apply_lint s.bindings
+      | name when String.length name > 5 && String.sub name 0 5 = "rule." ->
+          let rule = String.sub name 5 (String.length name - 5) in
+          List.iter (apply_rule rule) s.bindings
+      | name ->
+          Toml.fail ~file ~line:s.name_line (Printf.sprintf "unknown section [%s]" name))
+    (Toml.parse_string ~filename contents);
   !config
 
 let load path =

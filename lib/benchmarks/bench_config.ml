@@ -1,0 +1,93 @@
+module Toml = Ckpt_toml.Toml_lite
+
+type case_override = {
+  max_regression : float option;
+  sigma : float option;
+  skip : bool;
+}
+
+type t = {
+  max_regression : float;
+  sigma : float;
+  required_metrics : string list;
+  cases : (string * case_override) list;
+}
+
+let default = { max_regression = 0.10; sigma = 3.0; required_metrics = []; cases = [] }
+let no_override = { max_regression = None; sigma = None; skip = false }
+
+let positive_number ~file (b : Toml.binding) =
+  let x = Toml.as_number ~file b in
+  if Float.compare x 0.0 <= 0 then
+    Toml.fail ~file ~line:b.line
+      (Printf.sprintf "key %S must be a positive number" b.key);
+  x
+
+let parse_string ?(filename = "bench.toml") contents =
+  let file = filename in
+  let config = ref default in
+  let case_update name f =
+    let current =
+      match List.assoc_opt name !config.cases with
+      | Some ov -> ov
+      | None -> no_override
+    in
+    config :=
+      { !config with
+        cases = (name, f current) :: List.remove_assoc name !config.cases }
+  in
+  let apply_bench (b : Toml.binding) =
+    match b.key with
+    | "max_regression" ->
+        config := { !config with max_regression = positive_number ~file b }
+    | "sigma" -> config := { !config with sigma = positive_number ~file b }
+    | "required_metrics" ->
+        config := { !config with required_metrics = Toml.as_array ~file b }
+    | key ->
+        Toml.fail ~file ~line:b.line (Printf.sprintf "unknown key %S in [bench]" key)
+  in
+  let apply_case name (b : Toml.binding) =
+    match b.key with
+    | "max_regression" ->
+        let x = positive_number ~file b in
+        case_update name (fun ov -> { ov with max_regression = Some x })
+    | "sigma" ->
+        let x = positive_number ~file b in
+        case_update name (fun ov -> { ov with sigma = Some x })
+    | "skip" ->
+        let v = Toml.as_bool ~file b in
+        case_update name (fun ov -> { ov with skip = v })
+    | key ->
+        Toml.fail ~file ~line:b.line
+          (Printf.sprintf "unknown key %S in [case.%s]" key name)
+  in
+  List.iter
+    (fun (s : Toml.section) ->
+      match s.name with
+      | "bench" -> List.iter apply_bench s.bindings
+      | name when String.length name > 5 && String.sub name 0 5 = "case." ->
+          let case = String.sub name 5 (String.length name - 5) in
+          List.iter (apply_case case) s.bindings
+      | name ->
+          Toml.fail ~file ~line:s.name_line (Printf.sprintf "unknown section [%s]" name))
+    (Toml.parse_string ~filename contents);
+  !config
+
+let load path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string ~filename:path contents
+
+let override_for config case =
+  match List.assoc_opt case config.cases with Some ov -> ov | None -> no_override
+
+let effective config ~case =
+  let ov = override_for config case in
+  ( Option.value ov.max_regression ~default:config.max_regression,
+    Option.value ov.sigma ~default:config.sigma )
+
+let skipped config ~case = (override_for config case).skip

@@ -1,0 +1,46 @@
+(** Typed view of [bench.toml] — comparator thresholds and the required
+    metric keys — parsed by the same strict-TOML machinery as
+    [lint.toml] ({!Ckpt_toml.Toml_lite}): unknown sections or keys are
+    hard errors, so a typo can never silently loosen the gate.
+
+    {v
+    [bench]
+    max_regression   = 0.10     # relative slowdown tolerated by default
+    sigma            = 3.0      # noise multiplier on the pooled std error
+    required_metrics = ["mc.runs", "sim.failures"]
+
+    [case.chain-dp-800]         # per-case overrides
+    max_regression = 0.5
+    sigma          = 4.0
+    skip           = true       # exclude the case from the verdict
+    v}
+
+    A case regresses when its mean exceeds the baseline mean by more
+    than [max(max_regression * baseline_mean, sigma * pooled_stderr)] —
+    see {!Compare}. *)
+
+type case_override = {
+  max_regression : float option;
+  sigma : float option;
+  skip : bool;
+}
+
+type t = {
+  max_regression : float;  (** Default 0.10 (+10%). *)
+  sigma : float;  (** Default 3.0. *)
+  required_metrics : string list;  (** Default []. *)
+  cases : (string * case_override) list;
+}
+
+val default : t
+
+val parse_string : ?filename:string -> string -> t
+(** Raises [Failure "<file>:<line>: <message>"] on any syntactic or
+    semantic error (including non-positive thresholds). *)
+
+val load : string -> t
+
+val effective : t -> case:string -> float * float
+(** [(max_regression, sigma)] for a case after overrides. *)
+
+val skipped : t -> case:string -> bool

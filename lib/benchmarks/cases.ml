@@ -1,0 +1,178 @@
+module Generate = Ckpt_dag.Generate
+module Rng = Ckpt_prng.Rng
+module Law = Ckpt_dist.Law
+module Chain_problem = Ckpt_core.Chain_problem
+module Chain_dp = Ckpt_core.Chain_dp
+module Schedule = Ckpt_core.Schedule
+module Expected_time = Ckpt_core.Expected_time
+module Brute_force = Ckpt_core.Brute_force
+module Sim_run = Ckpt_sim.Sim_run
+module Monte_carlo = Ckpt_sim.Monte_carlo
+module Failure_stream = Ckpt_failures.Failure_stream
+
+type kind = Micro of (unit -> unit) | Macro of { repeats : int; fn : unit -> unit }
+type case = { name : string; tags : string list; kind : kind }
+
+let chain_problem n =
+  let rng = Rng.create ~seed:(Int64.of_int (9000 + n)) in
+  let spec = Generate.uniform_costs () in
+  let dag = Generate.chain rng spec ~n in
+  Chain_problem.of_dag ~downtime:0.2 ~lambda:(10.0 /. float_of_int n) dag
+
+(* The Part-3 scaling workload: fixed seed, so the estimate is
+   bit-identical for any domain count (the property bench/main.exe
+   asserts) and runs differ only in wall time. *)
+let mc_scaling_runs ~quick = if quick then 10_000 else 100_000
+
+let mc_scaling_estimate ~quick ~domains =
+  let rng = Rng.create ~seed:20_260_806L in
+  let segments = [ Sim_run.segment ~work:100.0 ~checkpoint:5.0 ~recovery:5.0 ] in
+  Monte_carlo.estimate_segments ~domains ~model:(Monte_carlo.Poisson_rate 0.01)
+    ~downtime:1.0 ~runs:(mc_scaling_runs ~quick) ~rng segments
+
+let assert_mc_deterministic () =
+  let estimate domains =
+    let rng = Rng.create ~seed:77_001L in
+    let segments = [ Sim_run.segment ~work:50.0 ~checkpoint:2.0 ~recovery:2.0 ] in
+    (Monte_carlo.estimate_segments ~domains ~model:(Monte_carlo.Poisson_rate 0.02)
+       ~downtime:0.5 ~runs:2_000 ~rng segments)
+      .Monte_carlo.mean
+  in
+  let d1 = estimate 1 and d3 = estimate 3 in
+  if not (Float.equal d1 d3) then
+    failwith
+      (Printf.sprintf
+         "Monte-Carlo determinism violated: mean %.17g at 1 domain, %.17g at 3" d1 d3)
+
+let micro name tags fn = { name; tags; kind = Micro fn }
+let macro ?(repeats = 12) name tags fn = { name; tags; kind = Macro { repeats; fn } }
+
+let all ~quick =
+  let kernels =
+    [
+      micro "prop1-closed-form" [ "kernel"; "core" ] (fun () ->
+          ignore
+            (Expected_time.expected_v ~work:100.0 ~checkpoint:5.0 ~downtime:1.0
+               ~recovery:5.0 ~lambda:1e-4));
+      (let problem = chain_problem 1000 in
+       let schedule = Schedule.every_k problem 5 in
+       micro "schedule-expectation-1000" [ "kernel"; "core" ] (fun () ->
+           ignore (Schedule.expected_makespan schedule)));
+      (let rng = Rng.create ~seed:777L in
+       let law = Law.weibull ~shape:0.7 ~scale:100.0 in
+       micro "weibull-renewal-next-failure" [ "kernel"; "failures" ] (fun () ->
+           let stream = Failure_stream.renewal ~law ~processors:16 (Rng.split rng) in
+           ignore (Failure_stream.next_after stream 0.0)));
+      (let law = Law.weibull ~shape:0.7 ~scale:100.0 in
+       let t =
+         Ckpt_dist.Superposition.aged ~law
+           ~ages:(Array.init 64 (fun i -> float_of_int i))
+       in
+       micro "superposition-survival-64" [ "kernel"; "dist" ] (fun () ->
+           ignore (Ckpt_dist.Superposition.survival t 10.0)));
+      (let law = Law.log_normal ~mu:1.0 ~sigma:1.2 in
+       micro "mean-residual-life-lognormal" [ "kernel"; "dist" ] (fun () ->
+           ignore (Law.mean_residual_life law ~elapsed:5.0)));
+      (let problem = chain_problem 64 in
+       let schedule = Schedule.every_k problem 4 in
+       let segments = Schedule.to_sim_segments schedule in
+       let rng = Rng.create ~seed:4242L in
+       micro "simulate-64-task-run" [ "kernel"; "sim" ] (fun () ->
+           let stream = Failure_stream.poisson ~rate:0.05 (Rng.split rng) in
+           ignore
+             (Sim_run.run_segments ~downtime:0.2
+                ~next_failure:(Failure_stream.next_after stream)
+                segments)));
+    ]
+  in
+  (* The O(n^2) chain DP at three sizes: with quadratic scaling the
+     per-call means should grow ~16x from 50->200 and 200->800; a
+     complexity regression shows up as a broken ratio across the
+     triple, not just one slow point. *)
+  let dp_scaling =
+    List.map
+      (fun n ->
+        let problem = chain_problem n in
+        macro
+          (Printf.sprintf "chain-dp-%d" n)
+          [ "dp"; "scaling" ]
+          (fun () -> ignore (Chain_dp.solve problem)))
+      [ 50; 200; 800 ]
+  in
+  let dp_other =
+    [
+      (let problem = chain_problem 256 in
+       macro "chain-dp-memoized-256" [ "dp" ] (fun () ->
+           ignore (Chain_dp.solve_memoized problem)));
+      (let problem = chain_problem 128 in
+       macro "chain-dp-budget-128-k16" [ "dp" ] (fun () ->
+           ignore (Chain_dp.solve_with_budget problem ~checkpoints:16)));
+      (let problem = chain_problem 16 in
+       macro "chain-brute-force-16" [ "dp" ] (fun () ->
+           ignore (Brute_force.chain_best problem)));
+      (let works = Array.init 12 (fun i -> 1.0 +. float_of_int (i mod 5)) in
+       macro "partition-dp-12" [ "dp" ] (fun () ->
+           ignore
+             (Brute_force.partition_best ~lambda:0.05 ~checkpoint:0.5 ~recovery:0.5
+                ~downtime:0.0 works)));
+      (let problem =
+         Chain_problem.uniform ~lambda:0.05 ~checkpoint:1.0 ~recovery:1.0
+           (List.init 12 (fun i -> float_of_int (1 + (i mod 5))))
+       in
+       let law = Law.weibull ~shape:0.7 ~scale:30.0 in
+       macro "btw-pseudo-poly-12" [ "dp" ] (fun () ->
+           ignore (Ckpt_core.Btw.pseudo_polynomial_best ~law problem)));
+      (let tasks =
+         List.init 8 (fun i ->
+             Ckpt_core.Moldable_chain.task
+               ~total_work:(2000.0 +. (500.0 *. float_of_int i))
+               ~checkpoint:(Ckpt_core.Moldable.Proportional 50.0) ())
+       in
+       let problem =
+         Ckpt_core.Moldable_chain.problem ~downtime:5.0 ~max_processors:256
+           ~proc_rate:1e-6 tasks
+       in
+       macro "moldable-chain-dp-8x9" [ "dp" ] (fun () ->
+           ignore (Ckpt_core.Moldable_chain.solve problem)));
+    ]
+  in
+  let dist =
+    [
+      (let rng = Rng.create ~seed:31415L in
+       let law = Law.weibull ~shape:0.7 ~scale:50.0 in
+       let xs = Array.init 1000 (fun _ -> Law.sample law (Rng.split rng)) in
+       macro "weibull-mle-1000-samples" [ "dist"; "fit" ] (fun () ->
+           ignore (Ckpt_dist.Law_fit.weibull xs)));
+    ]
+  in
+  (* Simulator throughput: a fixed batch of full runs per invocation, so
+     the mean is directly comparable as time-per-batch and the
+     per-invocation timing rises above clock granularity. *)
+  let sim_throughput =
+    let batch = if quick then 200 else 1_000 in
+    let problem = chain_problem 64 in
+    let schedule = Schedule.every_k problem 4 in
+    let segments = Schedule.to_sim_segments schedule in
+    [
+      macro "sim-throughput" [ "sim" ]
+        (fun () ->
+          let rng = Rng.create ~seed:86_420L in
+          for _ = 1 to batch do
+            let stream = Failure_stream.poisson ~rate:0.05 (Rng.split rng) in
+            ignore
+              (Sim_run.run_segments ~downtime:0.2
+                 ~next_failure:(Failure_stream.next_after stream)
+                 segments)
+          done);
+    ]
+  in
+  let mc_pool =
+    List.map
+      (fun domains ->
+        macro ~repeats:6
+          (Printf.sprintf "mc-pool-d%d" domains)
+          [ "mc"; "scaling" ]
+          (fun () -> ignore (mc_scaling_estimate ~quick ~domains)))
+      [ 1; 2; 4; 8 ]
+  in
+  kernels @ dp_scaling @ dp_other @ dist @ sim_throughput @ mc_pool

@@ -1,0 +1,160 @@
+type verdict = Improvement | Within_noise | Regression | Missing | New | Skipped
+
+let verdict_to_string = function
+  | Improvement -> "improvement"
+  | Within_noise -> "within-noise"
+  | Regression -> "REGRESSION"
+  | Missing -> "MISSING"
+  | New -> "new"
+  | Skipped -> "skipped"
+
+type case_report = {
+  name : string;
+  verdict : verdict;
+  baseline_mean : float option;
+  candidate_mean : float option;
+  delta_rel : float option;
+  threshold_rel : float option;
+}
+
+type report = {
+  cases : case_report list;
+  regressions : int;
+  improvements : int;
+  within_noise : int;
+  missing : int;
+  new_cases : int;
+  skipped : int;
+}
+
+let std_error (c : Schema.case_result) =
+  if c.samples <= 0 then 0.0 else c.stddev /. sqrt (float_of_int c.samples)
+
+let compare_case config (base : Schema.case_result) (cand : Schema.case_result) =
+  let max_regression, sigma = Bench_config.effective config ~case:base.name in
+  let delta = cand.mean -. base.mean in
+  let noise = sigma *. sqrt ((std_error base ** 2.0) +. (std_error cand ** 2.0)) in
+  let threshold = Float.max (max_regression *. Float.abs base.mean) noise in
+  let verdict =
+    if Float.compare delta threshold > 0 then Regression
+    else if Float.compare delta (-.threshold) < 0 then Improvement
+    else Within_noise
+  in
+  let ratio x =
+    if Float.equal base.mean 0.0 then None else Some (x /. Float.abs base.mean)
+  in
+  {
+    name = base.name;
+    verdict;
+    baseline_mean = Some base.mean;
+    candidate_mean = Some cand.mean;
+    delta_rel = ratio delta;
+    threshold_rel = ratio threshold;
+  }
+
+let run ?(config = Bench_config.default) ~(baseline : Schema.run)
+    (candidate : Schema.run) =
+  let report_of (base : Schema.case_result) =
+    if Bench_config.skipped config ~case:base.name then
+      {
+        name = base.name;
+        verdict = Skipped;
+        baseline_mean = Some base.mean;
+        candidate_mean =
+          Option.map
+            (fun (c : Schema.case_result) -> c.mean)
+            (Schema.find_case candidate base.name);
+        delta_rel = None;
+        threshold_rel = None;
+      }
+    else
+      match Schema.find_case candidate base.name with
+      | Some cand -> compare_case config base cand
+      | None ->
+          {
+            name = base.name;
+            verdict = Missing;
+            baseline_mean = Some base.mean;
+            candidate_mean = None;
+            delta_rel = None;
+            threshold_rel = None;
+          }
+  in
+  let from_baseline = List.map report_of baseline.cases in
+  let new_cases =
+    List.filter_map
+      (fun (c : Schema.case_result) ->
+        match Schema.find_case baseline c.name with
+        | Some _ -> None
+        | None ->
+            Some
+              {
+                name = c.name;
+                verdict = (if Bench_config.skipped config ~case:c.name then Skipped else New);
+                baseline_mean = None;
+                candidate_mean = Some c.mean;
+                delta_rel = None;
+                threshold_rel = None;
+              })
+      candidate.cases
+  in
+  let cases = from_baseline @ new_cases in
+  let count v =
+    List.length
+      (List.filter
+         (fun c -> match (c.verdict, v) with
+           | Improvement, Improvement | Within_noise, Within_noise
+           | Regression, Regression | Missing, Missing | New, New | Skipped, Skipped ->
+               true
+           | _ -> false)
+         cases)
+  in
+  {
+    cases;
+    regressions = count Regression;
+    improvements = count Improvement;
+    within_noise = count Within_noise;
+    missing = count Missing;
+    new_cases = count New;
+    skipped = count Skipped;
+  }
+
+let ok report = report.regressions = 0 && report.missing = 0
+
+let pp_time s =
+  if not (Float.is_finite s) then "n/a"
+  else if Float.compare s 1e-6 < 0 then Printf.sprintf "%.1f ns" (s *. 1e9)
+  else if Float.compare s 1e-3 < 0 then Printf.sprintf "%.2f us" (s *. 1e6)
+  else if Float.compare s 1.0 < 0 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.3f s" s
+
+let pp_opt f = function None -> "-" | Some x -> f x
+let pp_pct x = Printf.sprintf "%+.1f%%" (100.0 *. x)
+let pp_pct_abs x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let render report =
+  let table =
+    Ckpt_stats.Table.create ~title:"benchmark comparison (candidate vs baseline)"
+      ~columns:
+        [
+          ("case", Ckpt_stats.Table.Left); ("baseline", Ckpt_stats.Table.Right);
+          ("candidate", Ckpt_stats.Table.Right); ("delta", Ckpt_stats.Table.Right);
+          ("threshold", Ckpt_stats.Table.Right); ("verdict", Ckpt_stats.Table.Left);
+        ]
+  in
+  List.iter
+    (fun c ->
+      Ckpt_stats.Table.add_row table
+        [
+          c.name; pp_opt pp_time c.baseline_mean; pp_opt pp_time c.candidate_mean;
+          pp_opt pp_pct c.delta_rel; pp_opt pp_pct_abs c.threshold_rel;
+          verdict_to_string c.verdict;
+        ])
+    report.cases;
+  Ckpt_stats.Table.render table
+  ^ Printf.sprintf
+      "%d regression(s), %d missing, %d improvement(s), %d within noise, %d new, %d \
+       skipped => %s\n"
+      report.regressions report.missing report.improvements report.within_noise
+      report.new_cases report.skipped
+      (if ok report then "OK" else "FAIL")

@@ -1,0 +1,57 @@
+(** Noise-aware comparison of two benchmark runs.
+
+    All cases measure time (lower is better). For a case present in both
+    runs the regression threshold is
+
+    {v threshold = max(max_regression * baseline.mean,
+                      sigma * sqrt(se_base^2 + se_cand^2)) v}
+
+    with [se = stddev / sqrt(samples)] — the pooled standard error of
+    the difference of means — so a case whose recorded timings are noisy
+    gets a proportionally wider band instead of flapping the gate, and a
+    tight case can still fail on a real 10% regression. Defaults
+    ([max_regression = 0.10], [sigma = 3.0]) and per-case overrides come
+    from {!Bench_config}.
+
+    Verdicts: [Regression] (candidate slower than threshold allows),
+    [Improvement] (faster by more than the same band), [Within_noise],
+    [Missing] (in the baseline, absent from the candidate — a benchmark
+    silently disappearing must fail the gate), [New] (candidate only;
+    informational), [Skipped] ([skip = true] override). *)
+
+type verdict = Improvement | Within_noise | Regression | Missing | New | Skipped
+
+val verdict_to_string : verdict -> string
+
+type case_report = {
+  name : string;
+  verdict : verdict;
+  baseline_mean : float option;
+  candidate_mean : float option;
+  delta_rel : float option;
+      (** [(candidate - baseline) / baseline]; [None] without both runs
+          or when the baseline mean is zero. *)
+  threshold_rel : float option;
+      (** The effective threshold as a fraction of the baseline mean. *)
+}
+
+type report = {
+  cases : case_report list;  (** Baseline order, then new cases. *)
+  regressions : int;
+  improvements : int;
+  within_noise : int;
+  missing : int;
+  new_cases : int;
+  skipped : int;
+}
+
+val run : ?config:Bench_config.t -> baseline:Schema.run -> Schema.run -> report
+(** [run ~baseline candidate]; [config] defaults to
+    {!Bench_config.default} (strict local mode). *)
+
+val ok : report -> bool
+(** True iff no regressions and no missing cases. *)
+
+val render : report -> string
+(** Plain-text verdict table (via {!Ckpt_stats.Table}) plus a one-line
+    summary. *)

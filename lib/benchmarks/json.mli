@@ -1,0 +1,53 @@
+(** Minimal JSON reader/writer for the benchmark-results schema.
+
+    The repo deliberately carries no JSON dependency; this is a small,
+    strict recursive-descent parser covering everything the bench
+    subsystem writes (and the {!Ckpt_obs.Metrics} JSON it embeds):
+    objects, arrays, strings with the standard escapes (including
+    [\uXXXX] for BMP code points; surrogate pairs are rejected),
+    numbers, booleans and [null].
+
+    It exists so CI can make {e typed} assertions about benchmark
+    output — "does the [metrics] object have a field named
+    [mc.runs]" — instead of grepping raw text, where a key name inside
+    any string value is a false positive. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float  (** Always finite; non-finite floats serialize as [null]. *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** Field order preserved; duplicate keys rejected. *)
+
+exception Parse_error of string
+(** Carries ["line L, column C: message"]. *)
+
+val parse : string -> t
+(** Raises {!Parse_error}. Trailing non-whitespace is an error. *)
+
+val parse_result : string -> (t, string) result
+
+val to_string : t -> string
+(** Compact (single-line) serialization. Numbers print as integers when
+    integral, else with enough digits to round-trip exactly through
+    {!parse}. *)
+
+val equal : t -> t -> bool
+(** Structural equality; numbers via [Float.equal], object fields
+    order-sensitive (serialization is deterministic, so round-trips
+    preserve order). *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+(** Integral {!Number}s only. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

@@ -302,6 +302,11 @@ let snapshot () =
   |> List.map (fun spec -> (spec.name, spec.kind, read spec))
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
+let find snapshot name =
+  List.find_map
+    (fun (n, kind, value) -> if String.equal n name then Some (kind, value) else None)
+    snapshot
+
 (* Derived hit rates: every counter pair <base>_hits / <base>_misses
    yields <base>_hit_rate = hits / (hits + misses), or None when the
    caches were never consulted. *)

@@ -120,6 +120,11 @@ val reset : unit -> unit
 (** Zero every shard — campaign boundaries, so consecutive campaigns
     don't bleed into each other. Registrations are kept. *)
 
+val find : snapshot -> string -> (kind * value) option
+(** Typed lookup by metric name — the programmatic counterpart of
+    grepping a rendered report (used by the bench subsystem's
+    required-keys validation and the test suites). *)
+
 val render_table : snapshot -> string
 (** Two plain-text tables: deterministic engine metrics, then timings.
     Counter pairs named [<base>_hits]/[<base>_misses] get a derived

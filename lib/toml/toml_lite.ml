@@ -1,0 +1,182 @@
+type value =
+  | String of string
+  | Array of string list
+  | Number of float
+  | Bool of bool
+
+type binding = { key : string; value : value; line : int }
+type section = { name : string; name_line : int; bindings : binding list }
+type t = section list
+
+let fail ~file ~line msg = failwith (Printf.sprintf "%s:%d: %s" file line msg)
+
+(* Drop a '#' comment, tracking double quotes so '#' inside a string
+   survives. *)
+let strip_comment line =
+  let buf = Buffer.create (String.length line) in
+  let in_string = ref false in
+  (try
+     String.iter
+       (fun c ->
+         if c = '"' then begin
+           in_string := not !in_string;
+           Buffer.add_char buf c
+         end
+         else if c = '#' && not !in_string then raise Exit
+         else Buffer.add_char buf c)
+       line
+   with Exit -> ());
+  Buffer.contents buf
+
+let bracket_balance s =
+  let depth = ref 0 and in_string = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then in_string := not !in_string
+      else if not !in_string then
+        if c = '[' then incr depth else if c = ']' then decr depth)
+    s;
+  !depth
+
+let parse_string_lit ~file ~line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then
+    fail ~file ~line (Printf.sprintf "expected a double-quoted string, got %S" s);
+  String.sub s 1 (n - 2)
+
+(* Split "a", "b", "c" on commas outside strings. *)
+let split_items s =
+  let items = ref [] and buf = Buffer.create 32 and in_string = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_string := not !in_string;
+        Buffer.add_char buf c
+      end
+      else if c = ',' && not !in_string then begin
+        items := Buffer.contents buf :: !items;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  items := Buffer.contents buf :: !items;
+  List.rev_map String.trim !items |> List.filter (fun s -> s <> "")
+
+let parse_array ~file ~line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    fail ~file ~line (Printf.sprintf "expected an array [...], got %S" s);
+  split_items (String.sub s 1 (n - 2))
+  |> List.map (fun item -> parse_string_lit ~file ~line item)
+
+let parse_section_header ~file ~line s =
+  let n = String.length s in
+  let name = String.trim (String.sub s 1 (n - 2)) in
+  if name = "" then fail ~file ~line "empty section header";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> ()
+      | c -> fail ~file ~line (Printf.sprintf "bad character %C in section header" c))
+    name;
+  name
+
+let parse_value ~file ~line raw =
+  let s = String.trim raw in
+  if s = "" then fail ~file ~line "missing value after '='"
+  else if s.[0] = '"' then String (parse_string_lit ~file ~line s)
+  else if s.[0] = '[' then Array (parse_array ~file ~line s)
+  else if s = "true" then Bool true
+  else if s = "false" then Bool false
+  else
+    match float_of_string_opt s with
+    | Some x when Float.is_finite x -> Number x
+    | _ ->
+        fail ~file ~line
+          (Printf.sprintf "expected a string, array, number, or boolean, got %S" s)
+
+let parse_string ?(filename = "<toml>") contents =
+  let file = filename in
+  let lines = String.split_on_char '\n' contents in
+  (* Fold physical lines into logical lines, joining while an array is
+     still open; keep the first physical line's number for messages. *)
+  let logical =
+    let rec go acc pending lines =
+      match (pending, lines) with
+      | None, [] -> List.rev acc
+      | Some (lnum, s), [] ->
+          if bracket_balance s <> 0 then fail ~file ~line:lnum "unterminated array";
+          List.rev ((lnum, s) :: acc)
+      | None, (lnum, l) :: rest ->
+          let l = strip_comment l in
+          if bracket_balance l > 0 then go acc (Some (lnum, l)) rest
+          else go ((lnum, l) :: acc) None rest
+      | Some (lnum, s), (_, l) :: rest ->
+          let s = s ^ " " ^ strip_comment l in
+          if bracket_balance s > 0 then go acc (Some (lnum, s)) rest
+          else go ((lnum, s) :: acc) None rest
+    in
+    go [] None (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  (* Accumulate sections in reverse, bindings in reverse within each. *)
+  let sections = ref [] in
+  let push_binding ~lnum b =
+    match !sections with
+    | [] -> fail ~file ~line:lnum "key outside any [section]"
+    | s :: rest -> sections := { s with bindings = b :: s.bindings } :: rest
+  in
+  List.iter
+    (fun (lnum, raw) ->
+      let line = String.trim raw in
+      if line = "" then ()
+      else if
+        String.length line >= 2 && line.[0] = '[' && line.[String.length line - 1] = ']'
+      then
+        let name = parse_section_header ~file ~line:lnum line in
+        sections := { name; name_line = lnum; bindings = [] } :: !sections
+      else
+        match String.index_opt line '=' with
+        | None -> fail ~file ~line:lnum (Printf.sprintf "expected key = value, got %S" line)
+        | Some i ->
+            let key = String.trim (String.sub line 0 i) in
+            if key = "" then fail ~file ~line:lnum "empty key before '='";
+            let value =
+              parse_value ~file ~line:lnum
+                (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            push_binding ~lnum { key; value; line = lnum })
+    logical;
+  List.rev_map (fun s -> { s with bindings = List.rev s.bindings }) !sections
+
+let load path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string ~filename:path contents
+
+let shape_name = function
+  | String _ -> "a string"
+  | Array _ -> "an array"
+  | Number _ -> "a number"
+  | Bool _ -> "a boolean"
+
+let shape_error ~file b expected =
+  fail ~file ~line:b.line
+    (Printf.sprintf "key %S expects %s, got %s" b.key expected (shape_name b.value))
+
+let as_string ~file b =
+  match b.value with String s -> s | _ -> shape_error ~file b "a double-quoted string"
+
+let as_array ~file b =
+  match b.value with Array l -> l | _ -> shape_error ~file b "an array of strings"
+
+let as_number ~file b =
+  match b.value with Number x -> x | _ -> shape_error ~file b "a number"
+
+let as_bool ~file b =
+  match b.value with Bool x -> x | _ -> shape_error ~file b "a boolean (true/false)"

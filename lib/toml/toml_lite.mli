@@ -1,0 +1,57 @@
+(** Strict TOML-subset parser shared by [lint.toml] and [bench.toml].
+
+    The grammar is deliberately small — no dependency on a real TOML
+    implementation, and no silent fallbacks:
+
+    {v
+    # comment (outside strings)
+    [section]            # or [section.subname]
+    string   = "value"   # no escape sequences
+    array    = ["a", "b"]  # strings only; may span several lines
+    number   = 0.25      # also 3, 1e-3, -2.5
+    boolean  = true      # true | false
+    v}
+
+    Syntax errors raise [Failure "<file>:<line>: <message>"]. Semantic
+    validation — which sections and keys exist, which value shape each
+    key takes — is the consumer's job, so that unknown keys stay {e hard
+    errors} there (a typo must never silently disable a rule or loosen a
+    threshold). The [as_*] accessors fail with the binding's own
+    file/line when the value has the wrong shape. *)
+
+type value =
+  | String of string
+  | Array of string list
+  | Number of float
+  | Bool of bool
+
+type binding = { key : string; value : value; line : int }
+
+type section = {
+  name : string;  (** e.g. ["lint"] or ["rule.no-wall-clock"]. *)
+  name_line : int;
+  bindings : binding list;  (** In file order. *)
+}
+
+type t = section list
+(** Sections in file order; reopening a section appends a new entry
+    (consumers fold in order, so later bindings win where that
+    matters). *)
+
+val parse_string : ?filename:string -> string -> t
+(** Parse from a string; [filename] only labels error messages. *)
+
+val load : string -> t
+(** Parse a file. Raises [Sys_error] when unreadable. *)
+
+val fail : file:string -> line:int -> string -> 'a
+(** [Failure] with the standard ["file:line: message"] shape, for
+    consumers reporting semantic errors (unknown key/section). *)
+
+(** {1 Typed accessors} — fail with the binding's location on a shape
+    mismatch. *)
+
+val as_string : file:string -> binding -> string
+val as_array : file:string -> binding -> string list
+val as_number : file:string -> binding -> float
+val as_bool : file:string -> binding -> bool

@@ -29,4 +29,5 @@ let () =
       ("rejuvenation", Test_rejuvenation.suite);
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
+      ("bench", Test_bench.suite);
     ]
