@@ -85,10 +85,11 @@ let all ~quick =
                 segments)));
     ]
   in
-  (* The O(n^2) chain DP at three sizes: with quadratic scaling the
-     per-call means should grow ~16x from 50->200 and 200->800; a
-     complexity regression shows up as a broken ratio across the
-     triple, not just one slow point. *)
+  (* The O(n^2) chain DP at four sizes: with quadratic scaling the
+     per-call means should grow ~16x per 4x size step; a complexity
+     regression shows up as a broken ratio across the set, not just one
+     slow point. n = 3200 became affordable when the segment-cost
+     kernel removed the per-transition exp/expm1. *)
   let dp_scaling =
     List.map
       (fun n ->
@@ -97,7 +98,22 @@ let all ~quick =
           (Printf.sprintf "chain-dp-%d" n)
           [ "dp"; "scaling" ]
           (fun () -> ignore (Chain_dp.solve problem)))
-      [ 50; 200; 800 ]
+      [ 50; 200; 800; 3200 ]
+  in
+  (* The monotone divide-and-conquer solver on the same generator
+     (whose cost ranges always satisfy the monotonicity precheck, so no
+     silent O(n^2) fallback: the dp.transitions snapshot in the bench
+     JSON is the committed evidence of the ~n log n transition curve,
+     and `ckpt-bench check` requires that metric). *)
+  let dp_dc_scaling =
+    List.map
+      (fun n ->
+        let problem = chain_problem n in
+        macro
+          (Printf.sprintf "chain-dp-dc-%d" n)
+          [ "dp"; "dc"; "scaling" ]
+          (fun () -> ignore (Chain_dp.solve_dc problem)))
+      [ 800; 3200; 12800 ]
   in
   let dp_other =
     [
@@ -175,4 +191,4 @@ let all ~quick =
           (fun () -> ignore (mc_scaling_estimate ~quick ~domains)))
       [ 1; 2; 4; 8 ]
   in
-  kernels @ dp_scaling @ dp_other @ dist @ sim_throughput @ mc_pool
+  kernels @ dp_scaling @ dp_dc_scaling @ dp_other @ dist @ sim_throughput @ mc_pool

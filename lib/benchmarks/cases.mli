@@ -4,11 +4,13 @@
     timing varies.
 
     Tags (used by [ckpt-bench run --tag]): [kernel] (closed forms and
-    other micro-kernels), [dp] (chain/partition dynamic programs),
-    [scaling] (the chain DP at n ∈ {50, 200, 800}, exposing the O(n²)
-    curve, and the Monte-Carlo pool at 1/2/4/8 domains), [sim]
-    (simulator throughput), [mc] (Monte-Carlo pool), [dist]
-    (distribution kernels). *)
+    other micro-kernels), [dp] (chain/partition dynamic programs), [dc]
+    (the monotone divide-and-conquer chain solver at
+    n ∈ {800, 3200, 12800}), [scaling] (the chain DP at
+    n ∈ {50, 200, 800, 3200}, exposing the O(n²) curve, the
+    divide-and-conquer cases, and the Monte-Carlo pool at 1/2/4/8
+    domains), [sim] (simulator throughput), [mc] (Monte-Carlo pool),
+    [dist] (distribution kernels). *)
 
 type kind =
   | Micro of (unit -> unit)

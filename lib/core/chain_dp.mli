@@ -1,10 +1,16 @@
 (** Algorithm 1 of the paper: the O(n²) dynamic program computing the
-    optimal checkpoint placement for a linear chain (Proposition 3).
+    optimal checkpoint placement for a linear chain (Proposition 3),
+    plus an O(n log² n)-transition divide-and-conquer solver for the
+    (generic) monotone-decision case.
 
-    Two equivalent implementations are provided and cross-checked in the
-    test suite: a faithful transcription of the paper's memoized
-    recursion, and a bottom-up iteration. Both run in O(n²) time and
-    O(n) space thanks to prefix sums of the task weights. *)
+    Three equivalent implementations are provided and cross-checked in
+    the test suite: a faithful transcription of the paper's memoized
+    recursion (kept on the reference per-call [exp]/[expm1] evaluation,
+    the correctness oracle), a bottom-up iteration, and the monotone
+    divide and conquer. The bottom-up solvers evaluate transition costs
+    through the chain's precomputed {!Segment_cost} kernel —
+    multiplications only on the hot path — and run in O(n) space thanks
+    to prefix sums of the task weights. *)
 
 type solution = {
   expected_makespan : float;  (** Optimal expectation E(1, n). *)
@@ -12,11 +18,33 @@ type solution = {
 }
 
 val solve : Chain_problem.t -> solution
-(** Bottom-up dynamic program (the fast path). *)
+(** Bottom-up dynamic program (the fast O(n²) path; O(1) kernel-backed
+    transitions). *)
 
 val solve_memoized : Chain_problem.t -> solution
 (** Faithful transcription of the paper's Algorithm 1 (recursive,
-    memoized). Returns the same solution as {!solve}. *)
+    memoized), on the reference segment-cost evaluation. Returns the
+    same solution as {!solve} (to the kernel's 1e-9 relative
+    tolerance). *)
+
+val solve_dc : ?verify:bool -> Chain_problem.t -> solution
+(** Divide-and-conquer solver exploiting decision monotonicity: when
+    the segment-cost matrix is inverse-Monge
+    ({!Segment_cost.supports_monotone_dc} — always for uniform-cost
+    chains, and whenever no checkpoint/recovery cost jumps by more than
+    a task weight), the optimal first-checkpoint index is monotone in
+    the suffix start, and the optimum is found in O(n log² n) transition
+    evaluations instead of O(n²). Agrees with {!solve} on the expected
+    makespan to float rounding (same kernel-backed costs, same
+    smallest-index tie-breaking).
+
+    [verify] (default [true]) runs the O(n) monotonicity verification
+    first and {e falls back automatically} to the O(n²) {!solve} when it
+    fails — the fallback is counted by the [dp.dc_fallbacks] metric, and
+    also triggers when the kernel is in overflow-reference mode.
+    [~verify:false] skips the check and forces the divide and conquer;
+    the result is then only optimal if the instance really is monotone
+    (benchmark/diagnostic use). *)
 
 val dp_values : Chain_problem.t -> float array
 (** [dp_values problem] is the table E of optimal expected times for

@@ -6,6 +6,7 @@ type t = {
   downtime : float;
   initial_recovery : float;
   prefix_work : float array;
+  kernel : Segment_cost.t;
 }
 
 let build ~downtime ~initial_recovery ~lambda tasks =
@@ -19,7 +20,16 @@ let build ~downtime ~initial_recovery ~lambda tasks =
   for i = 0 to n - 1 do
     prefix_work.(i + 1) <- prefix_work.(i) +. tasks.(i).Task.work
   done;
-  { tasks; lambda; downtime; initial_recovery; prefix_work }
+  (* Task costs are validated by Task.make (non-negative), λ/D/R0 just
+     above — the kernel's no-validation contract holds. *)
+  let kernel =
+    Segment_cost.create ~lambda ~downtime ~prefix_work
+      ~checkpoint_costs:(Array.map (fun task -> task.Task.checkpoint_cost) tasks)
+      ~recovery_costs:
+        (Array.init n (fun i ->
+             if i = 0 then initial_recovery else tasks.(i - 1).Task.recovery_cost))
+  in
+  { tasks; lambda; downtime; initial_recovery; prefix_work; kernel }
 
 let make ?(downtime = 0.0) ?(initial_recovery = 0.0) ~lambda task_list =
   let tasks = Array.of_list (List.mapi (fun i task -> Task.with_id task i) task_list) in
@@ -54,10 +64,12 @@ let recovery_before t x =
   if x < 0 || x >= size t then invalid_arg "Chain_problem.recovery_before: bad index";
   if x = 0 then t.initial_recovery else t.tasks.(x - 1).Task.recovery_cost
 
+let kernel t = t.kernel
+
 let segment_expected t ~first ~last =
-  let work = segment_work t ~first ~last in
-  Expected_time.expected_v ~work ~checkpoint:t.tasks.(last).Task.checkpoint_cost
-    ~downtime:t.downtime ~recovery:(recovery_before t first) ~lambda:t.lambda
+  if first < 0 || last >= size t || first > last then
+    invalid_arg "Chain_problem.segment_expected: bad segment bounds";
+  Segment_cost.cost t.kernel ~first ~last
 
 let with_lambda t lambda =
   build ~downtime:t.downtime ~initial_recovery:t.initial_recovery ~lambda t.tasks

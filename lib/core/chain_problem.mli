@@ -11,6 +11,9 @@ type t = private {
   initial_recovery : float;  (** R0 >= 0. *)
   prefix_work : float array;
       (** [prefix_work.(i)] = w_0 + ... + w_(i-1); length n+1. *)
+  kernel : Segment_cost.t;
+      (** Precomputed O(1)-transition segment-cost tables for this
+          chain, built once at construction (see {!Segment_cost}). *)
 }
 
 val make :
@@ -43,7 +46,16 @@ val recovery_before : t -> int -> float
 val segment_expected : t -> first:int -> last:int -> float
 (** Expected duration (Proposition 1) of the segment executing tasks
     [first..last] and checkpointing after task [last]:
-    e^(λ·R_(first-1)) (1/λ + D) (e^(λ(w_first+...+w_last+C_last)) − 1). *)
+    e^(λ·R_(first-1)) (1/λ + D) (e^(λ(w_first+...+w_last+C_last)) − 1).
+    Evaluated through the precomputed {!Segment_cost} kernel (within
+    1e-9 relative of the direct [Expected_time] evaluation; identical
+    in the small-λ(W+C) regime, where the kernel takes the same [expm1]
+    path). Validates the bounds; the DP inner loops use {!kernel}
+    directly instead, with bounds established once per solve. *)
+
+val kernel : t -> Segment_cost.t
+(** The chain's precomputed segment-cost kernel ({!Segment_cost}),
+    built once at construction. *)
 
 val with_lambda : t -> float -> t
 (** Same chain under a different failure rate (for λ sweeps). *)

@@ -14,12 +14,16 @@ let make ?(downtime = 0.0) ?(recovery = 0.0) ~work ~checkpoint ~lambda () =
   if not (lambda > 0.0) then invalid_arg "Expected_time.make: lambda must be positive";
   { work; checkpoint; downtime; recovery; lambda }
 
+(* e^(λR) (1/λ + D) (e^(λ(W+C)) − 1), with the last factor as
+   expm1 to avoid catastrophic cancellation for small λ(W+C). *)
+let expected_unchecked ~work ~checkpoint ~downtime ~recovery ~lambda =
+  exp (lambda *. recovery)
+  *. ((1.0 /. lambda) +. downtime)
+  *. Float.expm1 (lambda *. (work +. checkpoint))
+
 let expected p =
-  (* e^(λR) (1/λ + D) (e^(λ(W+C)) − 1), with the last factor as
-     expm1 to avoid catastrophic cancellation for small λ(W+C). *)
-  exp (p.lambda *. p.recovery)
-  *. ((1.0 /. p.lambda) +. p.downtime)
-  *. Float.expm1 (p.lambda *. (p.work +. p.checkpoint))
+  expected_unchecked ~work:p.work ~checkpoint:p.checkpoint ~downtime:p.downtime
+    ~recovery:p.recovery ~lambda:p.lambda
 
 let expected_v ~work ~checkpoint ~downtime ~recovery ~lambda =
   expected (make ~downtime ~recovery ~work ~checkpoint ~lambda ())

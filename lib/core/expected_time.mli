@@ -32,6 +32,16 @@ val expected_v : work:float -> checkpoint:float -> downtime:float -> recovery:fl
   lambda:float -> float
 (** Unpacked variant of {!expected}. *)
 
+val expected_unchecked : work:float -> checkpoint:float -> downtime:float ->
+  recovery:float -> lambda:float -> float
+(** Same value as {!expected_v}, but with no argument validation and no
+    intermediate [params] record — the hot-path entry point for callers
+    that established λ > 0 and non-negative durations once at
+    construction time (e.g. [Chain_problem.build], whose dynamic
+    programs evaluate this formula O(n²) times per solve). Behaviour on
+    invalid arguments is unspecified; everything in this module other
+    than this function validates. *)
+
 val expected_lost : params -> float
 (** E(T_lost) (Equation 4): expected time wasted in an attempt, given
     that a failure strikes within the next W + C units of time:

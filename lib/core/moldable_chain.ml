@@ -72,14 +72,18 @@ let prefix_work_at t ~p =
   done;
   prefix
 
-(* Expected duration (Prop 1) of a segment running tasks first..last at
-   allocation p, recovering (on failure) at cost [recovery]. *)
-let segment_expected_prefixed t ~prefix ~first ~last ~p ~recovery =
-  Expected_time.expected_v
-    ~work:(prefix.(last + 1) -. prefix.(first))
-    ~checkpoint:(Moldable.cost_of t.tasks.(last).checkpoint ~p)
-    ~downtime:t.downtime ~recovery ~lambda:(lambda_at t p)
-
+(* Expected segment durations (Prop 1) at a fixed allocation go through
+   the Segment_cost kernel: one table set per candidate p turns the
+   growth factor e^(λ(p)(W+C)) − 1 into multiplications. The recovery
+   factor e^(λ(p)R)·(1/λ(p) + D) depends on the DP state (the recovery
+   cost is the previous segment's, not a function of position), so the
+   kernels are built without it and the solver hoists it to one
+   evaluation per (state, allocation) pair. *)
+let kernel_at t ~prefix ~p =
+  Segment_cost.create ~lambda:(lambda_at t p) ~downtime:t.downtime ~prefix_work:prefix
+    ~checkpoint_costs:
+      (Array.map (fun (task : task) -> Moldable.cost_of task.checkpoint ~p) t.tasks)
+    ~recovery_costs:(Array.make (Array.length t.tasks) 0.0)
 
 type solution = {
   expected_makespan : float;
@@ -97,6 +101,9 @@ let solve t =
   let value = Array.make_matrix (n + 1) (n_cand + 1) infinity in
   let choice = Array.make_matrix n (n_cand + 1) (-1, -1) in
   let prefixes = Array.map (fun p -> prefix_work_at t ~p) candidates in
+  let kernels =
+    Array.mapi (fun pc p -> kernel_at t ~prefix:prefixes.(pc) ~p) candidates
+  in
   for c = 0 to n_cand do
     value.(n).(c) <- 0.0
   done;
@@ -104,15 +111,22 @@ let solve t =
     if c = n_cand then t.initial_recovery
     else Moldable.cost_of t.tasks.(x - 1).recovery ~p:candidates.(c)
   in
+  (* rec_factor.(pc) = e^(λ(p)·R)·(1/λ(p) + D) for the state's recovery
+     cost R: n_cand exp evaluations per state instead of one per
+     transition. *)
+  let rec_factor = Array.make n_cand 0.0 in
   for x = n - 1 downto 0 do
     for c = 0 to n_cand do
       let recovery = if x = 0 then t.initial_recovery else recovery_of x c in
+      for pc = 0 to n_cand - 1 do
+        let lambda = lambda_at t candidates.(pc) in
+        rec_factor.(pc) <- exp (lambda *. recovery) *. ((1.0 /. lambda) +. t.downtime)
+      done;
       let best = ref infinity and best_choice = ref (-1, -1) in
       for j = x to n - 1 do
         for pc = 0 to n_cand - 1 do
           let cost =
-            segment_expected_prefixed t ~prefix:prefixes.(pc) ~first:x ~last:j
-              ~p:candidates.(pc) ~recovery
+            (rec_factor.(pc) *. Segment_cost.growth kernels.(pc) ~first:x ~last:j)
             +. value.(j + 1).(pc)
           in
           if cost < !best then begin

@@ -85,10 +85,12 @@ let checkpoint_indices t =
   List.rev !acc
 
 let expected_makespan t =
+  (* Segments come from a placement validated at construction, so the
+     per-segment bounds checks are skipped: straight to the kernel. *)
+  let kernel = Chain_problem.kernel t.problem in
   let acc = Ckpt_stats.Kahan.create () in
   List.iter
-    (fun (first, last) ->
-      Ckpt_stats.Kahan.add acc (Chain_problem.segment_expected t.problem ~first ~last))
+    (fun (first, last) -> Ckpt_stats.Kahan.add acc (Segment_cost.cost kernel ~first ~last))
     (segments t);
   Ckpt_stats.Kahan.sum acc
 

@@ -1,0 +1,107 @@
+(** Precomputed O(1)-transition kernel for the Proposition 1 segment
+    cost over a fixed chain.
+
+    The chain dynamic programs (Proposition 3 and its variants) evaluate
+
+    {v E(first, last) = e^(λ·R_first) (1/λ + D) (e^(λ·(W(first,last) + C_last)) − 1) v}
+
+    once per DP transition — O(n²) times per solve. The exponential
+    factors over a fixed chain separate into per-index tables:
+
+    {v eP.(i)  = e^(λ·prefix_work(i))
+   eC.(j)  = e^(λ·C_j)
+   pre.(i) = e^(λ·R_i) · (1/λ + D)        (R_i = recovery paid by a
+                                            segment starting at i) v}
+
+    so a transition cost factors as
+    [pre.(first) · (eP.(last+1) · eC.(last) / eP.(first) − 1)] — table
+    lookups and multiplications, with no per-call [exp]/[expm1] and no
+    allocation (the division is precomputed as a table of
+    [e^(−λ·prefix_work)]).
+
+    {1 Accuracy and range guards}
+
+    - {b Small arguments.} When [a = λ·(W + C_last)] is below
+      {!small_threshold} the product form cancels catastrophically
+      ([e^a − 1] computed as a product of table entries minus 1), so the
+      kernel falls back to [expm1 a] for that transition. The threshold
+      adapts to the chain: the product form's relative error is
+      O(λ·total_span·ε/a), so the cutoff scales with λ·total_span to
+      keep the kernel within a 1e-9 relative tolerance of the reference
+      evaluation (validated by a property test across the boundary).
+    - {b Overflow.} When [λ·(total_work + max C)] exceeds
+      {!overflow_cutoff} the tables themselves would lose accuracy or
+      overflow, so the kernel abandons the tables wholesale
+      ({!uses_tables} is [false]) and every call takes the reference
+      [expm1] path. The cutoff is conservative: both paths stay finite
+      up to λ·(W+C) ≈ 709 and overflow to [infinity] together beyond
+      it. *)
+
+type t
+
+val create :
+  lambda:float ->
+  downtime:float ->
+  prefix_work:float array ->
+  checkpoint_costs:float array ->
+  recovery_costs:float array ->
+  t
+(** [create ~lambda ~downtime ~prefix_work ~checkpoint_costs
+    ~recovery_costs] builds the tables for a chain of
+    [n = Array.length checkpoint_costs] tasks. [prefix_work] has length
+    [n + 1] with [prefix_work.(0) = 0]; [recovery_costs.(i)] is the
+    recovery paid by a segment starting at task [i] (so index 0 carries
+    the initial recovery). Numeric validation (λ > 0, non-negative
+    durations, non-decreasing prefix) is the {e caller's} contract —
+    [Chain_problem.build] enforces it — only the array shapes are
+    checked here, once per chain. O(n) time and space. *)
+
+val size : t -> int
+(** Number of tasks [n]. *)
+
+val cost : t -> first:int -> last:int -> float
+(** The Proposition 1 expected duration of the segment executing tasks
+    [first..last] and checkpointing after [last]. O(1), no allocation,
+    no transcendental call on the table path. Bounds are {e not}
+    validated — this is the DP inner-loop entry point; the validating
+    public API is [Chain_problem.segment_expected]. *)
+
+val growth : t -> first:int -> last:int -> float
+(** The failure-growth factor [e^(λ·(W(first,last) + C_last)) − 1]
+    alone, without the [pre.(first)] recovery/downtime factor — for
+    callers whose recovery cost depends on DP state rather than on
+    position (the moldable-chain DP hoists its own
+    [e^(λR)·(1/λ + D)] factor). Same guards as {!cost}. *)
+
+val reference_cost : t -> first:int -> last:int -> float
+(** The reference evaluation — fresh [exp]/[expm1] per call, the exact
+    code path of [Expected_time.expected_unchecked] — used by the
+    correctness oracle ([Chain_dp.solve_memoized]) and the
+    kernel-agreement property tests. *)
+
+val uses_tables : t -> bool
+(** [false] when the overflow guard rejected the tables at build time;
+    every transition then takes the reference path. *)
+
+val small_threshold : t -> float
+(** The adaptive small-argument cutoff this kernel uses (for tests and
+    diagnostics). *)
+
+val overflow_cutoff : float
+(** The wholesale-fallback bound on [λ·(total_work + max C)]
+    (currently 690, safely below [log max_float] ≈ 709.78). *)
+
+val supports_monotone_dc : t -> bool
+(** Whether the divide-and-conquer chain solver may be used on this
+    kernel. The transition cost decomposes as
+    [c(x, j) = a(x)·E(j) − pre.(x)] with
+    [a(x) = pre.(x)·e^(−λ·prefix(x))] and
+    [E(j) = e^(λ·(prefix(j+1) + C_j))]; when [a] is non-increasing and
+    [E] non-decreasing the DP matrix is inverse-Monge and the optimal
+    first-checkpoint index is monotone in the suffix start. Checked
+    exactly on the raw durations (it reduces to
+    [R_x − R_(x−1) ≤ w_x] and [C_(j+1) − C_j ≥ −w_(j+1)] per index —
+    always true for uniform costs, violated only when a checkpoint or
+    recovery cost jumps by more than a task weight). Also [false] when
+    {!uses_tables} is [false]: in the overflow regime segment costs
+    saturate to [infinity] and ties break the monotonicity argument. *)

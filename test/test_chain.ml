@@ -138,6 +138,81 @@ let test_memoized_matches_iterative () =
       (Schedule.equal a.Chain_dp.schedule b.Chain_dp.schedule)
   done
 
+let test_dc_matches_solve () =
+  (* Generated chains satisfy the monotonicity precheck (cost steps are
+     smaller than every task weight), so this exercises the real divide
+     and conquer, not the fallback. *)
+  for seed = 1 to 12 do
+    let p = random_problem (Int64.of_int (seed + 5_000)) (3 + (7 * seed)) in
+    let a = Chain_dp.solve p and b = Chain_dp.solve_dc p in
+    close
+      (Printf.sprintf "seed %d: divide-and-conquer = iterative" seed)
+      a.Chain_dp.expected_makespan b.Chain_dp.expected_makespan;
+    Alcotest.(check bool) "same placement" true
+      (Schedule.equal a.Chain_dp.schedule b.Chain_dp.schedule)
+  done
+
+let test_dc_extreme_rates () =
+  (* Tiny λ·W (every transition below the kernel's small-argument
+     cutoff) and large λ·W (product-form tables everywhere): the three
+     solvers agree at both ends. *)
+  let check name p =
+    let dp = Chain_dp.solve p in
+    let dc = Chain_dp.solve_dc p in
+    let memo = Chain_dp.solve_memoized p in
+    close (name ^ ": dc = solve") dp.Chain_dp.expected_makespan
+      dc.Chain_dp.expected_makespan;
+    close (name ^ ": memoized = solve") dp.Chain_dp.expected_makespan
+      memo.Chain_dp.expected_makespan
+  in
+  let works = List.init 16 (fun i -> 1.0 +. float_of_int (i mod 5)) in
+  check "tiny lambda"
+    (Chain_problem.uniform ~downtime:0.1 ~lambda:1e-8 ~checkpoint:0.3 ~recovery:0.4 works);
+  check "large lambda"
+    (Chain_problem.uniform ~downtime:0.1 ~lambda:3.0 ~checkpoint:0.3 ~recovery:0.4 works)
+
+let test_dc_fallback_on_nonmonotone () =
+  (* A recovery-cost spike bigger than the adjacent task weight breaks
+     the inverse-Monge precheck: solve_dc must detect it, count a
+     dp.dc_fallbacks tick, and return exactly solve's answer (it runs
+     solve). *)
+  let tasks =
+    List.mapi
+      (fun i w ->
+        Task.make ~id:i
+          ~name:(Printf.sprintf "T%d" (i + 1))
+          ~work:w ~checkpoint_cost:0.5
+          ~recovery_cost:(if i = 3 then 50.0 else 0.5)
+          ())
+      [ 2.0; 3.0; 2.0; 4.0; 2.0; 3.0; 2.0; 5.0 ]
+  in
+  let p = Chain_problem.make ~downtime:0.2 ~lambda:0.2 tasks in
+  Alcotest.(check bool) "precheck rejects the spike" false
+    (Ckpt_core.Segment_cost.supports_monotone_dc (Chain_problem.kernel p));
+  Ckpt_obs.Metrics.reset ();
+  let dp = Chain_dp.solve p in
+  let dc = Chain_dp.solve_dc p in
+  Alcotest.(check bool) "fallback result is bit-identical to solve" true
+    (Float.equal dp.Chain_dp.expected_makespan dc.Chain_dp.expected_makespan);
+  Alcotest.(check bool) "fallback placement equals solve's" true
+    (Schedule.equal dp.Chain_dp.schedule dc.Chain_dp.schedule);
+  (match Ckpt_obs.Metrics.find (Ckpt_obs.Metrics.snapshot ()) "dp.dc_fallbacks" with
+  | Some (_, Ckpt_obs.Metrics.Counter n) ->
+      Alcotest.(check int) "one fallback counted" 1 n
+  | Some _ -> Alcotest.fail "dp.dc_fallbacks is not a counter"
+  | None -> Alcotest.fail "dp.dc_fallbacks not recorded")
+
+let qcheck_dc_matches_solve =
+  QCheck.Test.make ~name:"divide-and-conquer = iterative DP on random chains" ~count:80
+    QCheck.(pair (int_range 1 60) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let p = random_problem (Int64.of_int (seed + 88_000)) n in
+      let dp = Chain_dp.solve p in
+      let dc = Chain_dp.solve_dc p in
+      Float.abs (dc.Chain_dp.expected_makespan -. dp.Chain_dp.expected_makespan)
+      <= 1e-9 *. dp.Chain_dp.expected_makespan
+      && Schedule.equal dp.Chain_dp.schedule dc.Chain_dp.schedule)
+
 let test_dp_extreme_rates () =
   (* Large lambda: checkpoint after every task is optimal.
      Tiny lambda with costly checkpoints: a single final checkpoint wins. *)
@@ -324,6 +399,11 @@ let suite =
     Alcotest.test_case "DP on a single task" `Quick test_dp_single_task;
     Alcotest.test_case "DP = brute force (fixed)" `Quick test_dp_matches_brute_force_fixed;
     Alcotest.test_case "memoized = iterative" `Quick test_memoized_matches_iterative;
+    Alcotest.test_case "divide-and-conquer = iterative" `Quick test_dc_matches_solve;
+    Alcotest.test_case "divide-and-conquer at extreme rates" `Quick
+      test_dc_extreme_rates;
+    Alcotest.test_case "divide-and-conquer fallback" `Quick
+      test_dc_fallback_on_nonmonotone;
     Alcotest.test_case "DP at extreme failure rates" `Quick test_dp_extreme_rates;
     Alcotest.test_case "DP value table" `Quick test_dp_values_structure;
     Alcotest.test_case "first segment end (numTask)" `Quick test_first_segment_end;
@@ -333,6 +413,7 @@ let suite =
     Alcotest.test_case "budget curve" `Quick test_budget_curve;
     QCheck_alcotest.to_alcotest qcheck_budget_matches_filtered_brute_force;
     QCheck_alcotest.to_alcotest qcheck_dp_optimal;
+    QCheck_alcotest.to_alcotest qcheck_dc_matches_solve;
     QCheck_alcotest.to_alcotest qcheck_dp_below_heuristics;
     QCheck_alcotest.to_alcotest qcheck_schedule_segments_cover;
   ]

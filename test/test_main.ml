@@ -11,6 +11,7 @@ let () =
       ("expected-time", Test_expected_time.suite);
       ("approximations", Test_approximations.suite);
       ("chain", Test_chain.suite);
+      ("segment-cost", Test_segment_cost.suite);
       ("brute-force", Test_brute_force.suite);
       ("independent", Test_independent.suite);
       ("reduction", Test_reduction.suite);

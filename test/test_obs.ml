@@ -198,6 +198,38 @@ let test_jsonl_golden () =
   in
   Alcotest.(check string) "json-lines shape" expected (Span.to_jsonl synthetic)
 
+let test_dp_transition_counters_agree () =
+  (* solve and solve_memoized perform the same n − x segment evaluations
+     per state (the initial candidate plus the loop), so their
+     dp.transitions totals must be equal — solve_memoized used to report
+     max 0 (n − 1 − x) and undercount by one per state. *)
+  let rng = Rng.create ~seed:909L in
+  let dag = Ckpt_dag.Generate.chain rng (Ckpt_dag.Generate.uniform_costs ()) ~n:37 in
+  let p = Ckpt_core.Chain_problem.of_dag ~downtime:0.2 ~lambda:0.05 dag in
+  let transitions_of solver =
+    Metrics.reset ();
+    ignore (solver p);
+    counter_value "dp.transitions"
+  in
+  let iterative = transitions_of Ckpt_core.Chain_dp.solve in
+  let memoized = transitions_of Ckpt_core.Chain_dp.solve_memoized in
+  Alcotest.(check int) "n(n+1)/2 transitions for the iterative DP" (37 * 38 / 2)
+    iterative;
+  Alcotest.(check int) "memoized DP reports the same total" iterative memoized;
+  (* The divide and conquer does strictly fewer evaluations, and within
+     the O(n log² n) bound (n·(log2 n + 1)² + n is generous already at
+     n = 37 and stays so at bench sizes). *)
+  let dc = transitions_of (Ckpt_core.Chain_dp.solve_dc ?verify:None) in
+  let log2n = int_of_float (Float.ceil (Float.log2 37.0)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "dc transitions (%d) below iterative (%d)" dc iterative)
+    true (dc < iterative);
+  Alcotest.(check bool)
+    (Printf.sprintf "dc transitions (%d) within O(n log^2 n)" dc)
+    true
+    (dc <= (37 * (log2n + 1) * (log2n + 1)) + 37);
+  Metrics.reset ()
+
 let test_json_snapshot_parses () =
   (* Sanity of the --metrics json surface: balanced braces, both
      sections present, every registered metric quoted by name. *)
@@ -229,6 +261,8 @@ let suite =
     Alcotest.test_case "engine metrics bit-identical across domains" `Quick
       test_engine_metrics_identical_across_domains;
     Alcotest.test_case "derived hit-rate row" `Quick test_hit_rate_derived_row;
+    Alcotest.test_case "DP transition counters agree" `Quick
+      test_dp_transition_counters_agree;
     Alcotest.test_case "span nesting and exception unwinding" `Quick
       test_span_nesting_and_exception_unwinding;
     Alcotest.test_case "chrome trace golden" `Quick test_chrome_trace_golden;
