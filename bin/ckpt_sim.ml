@@ -1,6 +1,7 @@
 (* CLI: Monte-Carlo estimation of the expected makespan of a checkpointed
    workload, with the exact Proposition 1 value for comparison when the
-   law is Exponential. *)
+   law is Exponential; also the entry point of the deterministic
+   fault-scenario harness (--scenario / --list-scenarios). *)
 
 open Cmdliner
 module Law = Ckpt_dist.Law
@@ -9,6 +10,8 @@ module Monte_carlo = Ckpt_sim.Monte_carlo
 module Sim_run = Ckpt_sim.Sim_run
 module Expected_time = Ckpt_core.Expected_time
 module Obs_cli = Ckpt_obs_cli.Obs_cli
+module Scenario = Ckpt_scenarios.Scenario
+module Monitor = Ckpt_scenarios.Monitor
 
 let parse_law spec =
   match Ckpt_dist.Law_spec.parse spec with
@@ -17,10 +20,61 @@ let parse_law spec =
       prerr_endline msg;
       exit 2
 
+let list_scenarios () =
+  List.iter
+    (fun (s : Scenario.t) -> Printf.printf "%-24s %s\n" s.name s.description)
+    Scenario.all
+
+(* Run each requested scenario twice at the same seed: the digest
+   equality is the reproducibility contract, checked on every
+   invocation, not just in the test suite. Exit 1 on any monitor
+   violation or digest mismatch. *)
+let run_scenarios name seed obs_flush =
+  let targets =
+    if String.equal name "all" then Scenario.all
+    else
+      match Scenario.find name with
+      | Some s -> [ s ]
+      | None ->
+          Printf.eprintf "ckpt-sim: unknown scenario %S (try --list-scenarios)\n" name;
+          exit 2
+  in
+  let seed = Int64.of_int seed in
+  let failed = ref false in
+  List.iter
+    (fun s ->
+      let o = Scenario.run s ~seed in
+      let o' = Scenario.run s ~seed in
+      let reproducible = String.equal o.Scenario.digest o'.Scenario.digest in
+      let ok = Monitor.ok o.verdicts in
+      if not (ok && reproducible) then failed := true;
+      Printf.printf "%-24s seed=%Ld makespan=%.6f failures=%d digest=%s %s%s\n"
+        o.scenario seed o.stats.Sim_run.makespan o.stats.Sim_run.failures o.digest
+        (if ok then "ok" else "VIOLATIONS")
+        (if reproducible then "" else " NON-REPRODUCIBLE");
+      List.iter
+        (fun (v : Monitor.verdict) ->
+          if v.violations > 0 then begin
+            Printf.printf "  %s: %d/%d checks failed\n" v.monitor v.violations v.checks;
+            List.iter
+              (fun (x : Monitor.violation) ->
+                Printf.printf "    t=%.6f %s\n" x.time x.message)
+              v.examples
+          end)
+        o.verdicts)
+    targets;
+  obs_flush ();
+  if !failed then exit 1
+
 let run work checkpoint recovery downtime law_spec processors runs seed timeline domains
-    target_ci obs_flush =
-  let law = parse_law law_spec in
-  let platform = Platform.make ~downtime ~processors ~proc_law:law () in
+    target_ci scenario scenario_list obs_flush =
+  if scenario_list then list_scenarios ()
+  else
+    match scenario with
+    | Some name -> run_scenarios name seed obs_flush
+    | None ->
+        let law = parse_law law_spec in
+        let platform = Platform.make ~downtime ~processors ~proc_law:law () in
   let rng = Ckpt_prng.Rng.create ~seed:(Int64.of_int seed) in
   if timeline then begin
     (* Show one sample run before the aggregate estimate. *)
@@ -91,11 +145,26 @@ let target_ci =
   in
   Arg.(value & opt (some float) None & info [ "target-ci" ] ~docv:"REL" ~doc)
 
+let scenario =
+  let doc =
+    "Run the named deterministic fault scenario (with --seed) instead of a Monte-Carlo \
+     estimate: replays the scenario's failure pattern, checks every invariant monitor, \
+     verifies the run digest reproduces, and exits non-zero on any violation. \
+     $(b,all) runs the whole registry (the CI smoke pass)."
+  in
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME" ~doc)
+
+let scenario_list =
+  Arg.(value & flag
+       & info [ "list-scenarios" ]
+           ~doc:"List the registered fault scenarios and exit.")
+
 let cmd =
   let doc = "Monte-Carlo estimate of the expected checkpointed execution time" in
   let info = Cmd.info "ckpt-sim" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(const run $ work $ checkpoint $ recovery $ downtime $ law_spec $ processors
-          $ runs $ seed $ timeline $ domains $ target_ci $ Obs_cli.term)
+          $ runs $ seed $ timeline $ domains $ target_ci $ scenario $ scenario_list
+          $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

@@ -182,6 +182,20 @@ let all ~quick =
           done);
     ]
   in
+  (* The full deterministic scenario registry, monitors on: regressions
+     here mean the harness (injector combinators + monitor checks) got
+     slower, or a scenario started violating its invariants (failwith
+     shows up as a bench crash, not a silent timing). *)
+  let scenario_smoke =
+    [
+      macro ~repeats:6 "sim-scenario-smoke" [ "sim"; "scenarios" ] (fun () ->
+          List.iter
+            (fun (o : Ckpt_scenarios.Scenario.outcome) ->
+              if not (Ckpt_scenarios.Monitor.ok o.verdicts) then
+                failwith ("scenario " ^ o.scenario ^ ": monitor violation"))
+            (Ckpt_scenarios.Scenario.run_all ~seed:20_260_807L));
+    ]
+  in
   let mc_pool =
     List.map
       (fun domains ->
@@ -191,4 +205,5 @@ let all ~quick =
           (fun () -> ignore (mc_scaling_estimate ~quick ~domains)))
       [ 1; 2; 4; 8 ]
   in
-  kernels @ dp_scaling @ dp_dc_scaling @ dp_other @ dist @ sim_throughput @ mc_pool
+  kernels @ dp_scaling @ dp_dc_scaling @ dp_other @ dist @ sim_throughput
+  @ scenario_smoke @ mc_pool

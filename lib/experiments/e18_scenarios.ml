@@ -1,0 +1,35 @@
+module Table = Ckpt_stats.Table
+module Scenario = Ckpt_scenarios.Scenario
+module Monitor = Ckpt_scenarios.Monitor
+
+let name = "E18"
+let claim = "fault-scenario harness: every registered scenario reproduces and passes its monitors"
+
+let run config =
+  let seed = config.Common.seed in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s: %s (seed %Ld)" name claim seed)
+      ~columns:
+        [
+          ("scenario", Table.Left); ("makespan", Table.Right); ("failures", Table.Right);
+          ("checks", Table.Right); ("violations", Table.Right);
+          ("reproducible", Table.Left); ("digest", Table.Left);
+        ]
+  in
+  List.iter
+    (fun s ->
+      let o = Scenario.run s ~seed in
+      let o' = Scenario.run s ~seed in
+      Table.add_row table
+        [
+          o.Scenario.scenario;
+          Table.cell_f o.Scenario.stats.Ckpt_sim.Sim_run.makespan;
+          string_of_int o.Scenario.stats.Ckpt_sim.Sim_run.failures;
+          string_of_int (Monitor.total_checks o.Scenario.verdicts);
+          string_of_int (Monitor.total_violations o.Scenario.verdicts);
+          Common.bool_cell (String.equal o.Scenario.digest o'.Scenario.digest);
+          String.sub o.Scenario.digest 0 12;
+        ])
+    Scenario.all;
+  [ Common.Table table ]

@@ -1,0 +1,9 @@
+(** E18 (infrastructure) — the deterministic fault-scenario harness:
+    runs every registered scenario twice at the experiment seed,
+    checking that the run digest reproduces bit-for-bit and that every
+    invariant monitor passes on the honest engine. *)
+
+val name : string
+val claim : string
+
+val run : Common.config -> Common.output list

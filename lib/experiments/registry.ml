@@ -30,6 +30,7 @@ let all =
     { id = E16_replication.name; claim = E16_replication.claim; run = E16_replication.run };
     { id = E17_rejuvenation.name; claim = E17_rejuvenation.claim;
       run = E17_rejuvenation.run };
+    { id = E18_scenarios.name; claim = E18_scenarios.claim; run = E18_scenarios.run };
   ]
 
 let find id =

@@ -22,7 +22,8 @@ type state =
 type t = { state : state; mutable last_query : float }
 
 let poisson ~rate rng =
-  if rate <= 0.0 then invalid_arg "Failure_stream.poisson: rate must be positive";
+  (* [not (rate > 0)] also rejects NaN, which [rate <= 0] would admit. *)
+  if not (rate > 0.0) then invalid_arg "Failure_stream.poisson: rate must be positive";
   let first = -.log (Rng.float_pos rng) /. rate in
   { state = Poisson { rate; p_rng = rng; next = first }; last_query = neg_infinity }
 
@@ -46,7 +47,8 @@ let of_platform ?rejuvenation (platform : Platform.t) rng =
 let of_times times =
   let n = Array.length times in
   for i = 0 to n - 1 do
-    if times.(i) < 0.0 then invalid_arg "Failure_stream.of_times: negative time";
+    if not (times.(i) >= 0.0) then
+      invalid_arg "Failure_stream.of_times: negative or NaN time";
     if i > 0 && times.(i) < times.(i - 1) then
       invalid_arg "Failure_stream.of_times: times must be sorted"
   done;

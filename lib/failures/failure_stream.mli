@@ -14,7 +14,31 @@
     Queries must be made with non-decreasing times; scheduled failures
     skipped over by a query (e.g. those falling inside a downtime
     window, during which the paper's model says no failure can occur)
-    are consumed and the affected processors' clocks renew. *)
+    are consumed and the affected processors' clocks renew.
+
+    {1 Simultaneity (exact-tie) semantics}
+
+    All three implementations coalesce simultaneous failures: a query at
+    time [t] consumes {e every} event with timestamp [<= t] — including
+    several distinct processor failures carrying the {e same} timestamp —
+    and returns the first event strictly later than [t]. Two processors
+    failing at the same instant are therefore delivered to the simulator
+    as a single platform failure: the model's fail-stop event brings the
+    whole (single-workload) platform down, so the co-timed failures
+    would in any case be absorbed by the downtime window the first one
+    opens. Returning an event at exactly the query time is never an
+    option — it would violate the strictly-later contract and livelock a
+    zero-downtime engine loop.
+
+    Concretely, at an exact-tie query time:
+    - {!poisson}: a scheduled event at exactly [t] is absorbed and the
+      next arrival is redrawn from [t] (memorylessness makes the redraw
+      distribution-preserving);
+    - {!renewal}: every per-processor clock showing [<= t] is popped and
+      renewed at its own failure instant (or all clocks, under
+      [All_processors]);
+    - {!of_times}: every recorded time [<= t], duplicates included, is
+      skipped in one query. *)
 
 type t
 
@@ -44,10 +68,13 @@ val of_platform : ?rejuvenation:rejuvenation -> Platform.t -> Ckpt_prng.Rng.t ->
 val of_times : float array -> t
 (** Replay a fixed sorted array of absolute failure times; after the
     last one, no further failure occurs ({!next_after} returns
-    [infinity]). Raises [Invalid_argument] if the array is not sorted or
-    contains a negative time. *)
+    [infinity]). Duplicate timestamps are allowed and coalesce into one
+    delivered failure (see the simultaneity semantics above). Raises
+    [Invalid_argument] if the array is not sorted or contains a negative
+    or NaN time. *)
 
 val next_after : t -> float -> float
 (** [next_after t time] is the absolute time of the first failure
     strictly later than [time]. Consumes all failures at or before
-    [time]. Times passed to successive calls must be non-decreasing. *)
+    [time], coalescing exact ties (see the simultaneity semantics
+    above). Times passed to successive calls must be non-decreasing. *)

@@ -1,13 +1,21 @@
-type 'a t = { mutable items : (float * 'a) array; mutable size : int }
+(* Backing slots hold [(key, payload) option] so that vacated slots can
+   be nulled out: slots at indices >= size are always [None], hence a
+   popped payload is collectable the moment [pop] returns. *)
+type 'a t = { mutable items : (float * 'a) option array; mutable size : int }
 
 let create () = { items = [||]; size = 0 }
 let size t = t.size
 let is_empty t = t.size = 0
 
+let key t i =
+  match t.items.(i) with
+  | Some (k, _) -> k
+  | None -> assert false (* slots below [size] are always occupied *)
+
 let grow t =
   let capacity = Array.length t.items in
   if t.size = capacity then begin
-    let fresh = Array.make (Stdlib.max 8 (2 * capacity)) t.items.(0) in
+    let fresh = Array.make (Stdlib.max 8 (2 * capacity)) None in
     Array.blit t.items 0 fresh 0 t.size;
     t.items <- fresh
   end
@@ -20,7 +28,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if fst t.items.(i) < fst t.items.(parent) then begin
+    if key t i < key t parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -29,32 +37,33 @@ let rec sift_up t i =
 let rec sift_down t i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < t.size && fst t.items.(left) < fst t.items.(!smallest) then smallest := left;
-  if right < t.size && fst t.items.(right) < fst t.items.(!smallest) then smallest := right;
+  if left < t.size && key t left < key t !smallest then smallest := left;
+  if right < t.size && key t right < key t !smallest then smallest := right;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
 let push t time payload =
-  if t.size = 0 && Array.length t.items = 0 then t.items <- Array.make 8 (time, payload);
+  if Float.is_nan time then invalid_arg "Min_heap.push: NaN key";
   grow t;
-  t.items.(t.size) <- (time, payload);
+  t.items.(t.size) <- Some (time, payload);
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek t = if t.size = 0 then None else Some t.items.(0)
+let peek t = if t.size = 0 then None else t.items.(0)
 
 let pop t =
   if t.size = 0 then None
   else begin
     let top = t.items.(0) in
     t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.items.(0) <- t.items.(t.size);
-      sift_down t 0
-    end;
-    Some top
+    t.items.(0) <- t.items.(t.size);
+    t.items.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    top
   end
 
-let clear t = t.size <- 0
+let clear t =
+  t.items <- [||];
+  t.size <- 0

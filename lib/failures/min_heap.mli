@@ -1,12 +1,20 @@
 (** Array-based binary min-heap of (time, payload) pairs, ordered by
-    time. Internal workhorse of the failure streams. *)
+    time. Internal workhorse of the failure streams.
+
+    Vacated slots are nulled out on {!pop} and {!clear} drops the whole
+    backing array, so the heap never retains a reference to a payload it
+    no longer owns. *)
 
 type 'a t
 
 val create : unit -> 'a t
 val size : 'a t -> int
 val is_empty : 'a t -> bool
+
 val push : 'a t -> float -> 'a -> unit
+(** Raises [Invalid_argument] on a NaN key: NaN is incomparable, so
+    admitting one would silently break the heap-order invariant (every
+    [<] involving it is false) and corrupt the failure timeline. *)
 
 val peek : 'a t -> (float * 'a) option
 (** Smallest element, without removing it. *)

@@ -1,0 +1,204 @@
+module Sim_run = Ckpt_sim.Sim_run
+
+type spec = {
+  downtime : float;
+  lower_bound : float;
+  expected : int -> Sim_run.segment option;
+}
+
+type violation = { monitor : string; time : float; message : string }
+
+type verdict = {
+  monitor : string;
+  checks : int;
+  violations : int;
+  examples : violation list;
+}
+
+let max_examples = 16
+
+type mon = {
+  name : string;
+  mutable checks : int;
+  mutable violations : int;
+  mutable examples : violation list;  (* newest first, capped *)
+}
+
+let monitor_names =
+  [
+    "monotone-timeline"; "work-conservation"; "committed-progress"; "makespan-bound";
+    "downtime-immunity";
+  ]
+
+type t = {
+  spec : spec;
+  mono : mon;
+  conserve : mon;
+  committed : mon;
+  bound : mon;
+  immunity : mon;
+  mutable prev_finish : float;
+  mutable last_committed : int;  (* highest segment with a committed checkpoint *)
+  (* Segments that appeared in a work event, and whether a full
+     (uninterrupted) execution of their work has been observed. *)
+  started : (int, bool) Hashtbl.t;
+}
+
+let mon name = { name; checks = 0; violations = 0; examples = [] }
+
+let create spec =
+  {
+    spec;
+    mono = mon "monotone-timeline";
+    conserve = mon "work-conservation";
+    committed = mon "committed-progress";
+    bound = mon "makespan-bound";
+    immunity = mon "downtime-immunity";
+    prev_finish = 0.0;
+    last_committed = -1;
+    started = Hashtbl.create 16;
+  }
+
+(* Scaled tolerance: event times are sums of the spec durations, so the
+   only admissible slack is accumulated rounding. *)
+let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let check m ~time cond message =
+  m.checks <- m.checks + 1;
+  if not cond then begin
+    m.violations <- m.violations + 1;
+    if List.length m.examples < max_examples then
+      m.examples <- { monitor = m.name; time; message = message () } :: m.examples
+  end
+
+let phase_name = function
+  | Sim_run.Work_phase -> "work"
+  | Sim_run.Checkpoint_phase -> "checkpoint"
+  | Sim_run.Downtime_phase -> "downtime"
+  | Sim_run.Recovery_phase -> "recovery"
+
+let on_event t (e : Sim_run.event) =
+  let time = e.start in
+  (* monotone-timeline: chronological, gap-free-forward, finite, no
+     negative spans. *)
+  check t.mono ~time
+    (Float.is_finite e.start && Float.is_finite e.finish && (not (Float.is_nan e.start))
+    && not (Float.is_nan e.finish))
+    (fun () -> "event carries a NaN or infinite timestamp");
+  check t.mono ~time
+    (e.finish >= e.start)
+    (fun () ->
+      Printf.sprintf "%s event runs backwards: start %.9g > finish %.9g"
+        (phase_name e.phase) e.start e.finish);
+  check t.mono ~time
+    (e.start >= t.prev_finish -. (1e-9 *. Float.max 1.0 (Float.abs t.prev_finish)))
+    (fun () ->
+      Printf.sprintf "time travel: %s event starts at %.9g before previous finish %.9g"
+        (phase_name e.phase) e.start t.prev_finish);
+  if e.finish >= e.start then t.prev_finish <- e.finish;
+  (* committed-progress: nothing at or before the last committed
+     checkpoint may ever re-execute. *)
+  check t.committed ~time
+    (e.segment > t.last_committed)
+    (fun () ->
+      Printf.sprintf "%s event for segment %d after segment %d was committed"
+        (phase_name e.phase) e.segment t.last_committed);
+  if (match e.phase with Sim_run.Checkpoint_phase -> true | _ -> false)
+     && not e.interrupted
+  then t.last_committed <- Stdlib.max t.last_committed e.segment;
+  (* work-conservation: phase durations match the declared workload. *)
+  let duration = e.finish -. e.start in
+  (match (e.phase, t.spec.expected e.segment) with
+  | Sim_run.Work_phase, Some seg ->
+      Hashtbl.replace t.started e.segment
+        ((not e.interrupted) || (try Hashtbl.find t.started e.segment with Not_found -> false));
+      if e.interrupted then
+        check t.conserve ~time
+          (duration <= seg.Sim_run.work +. 1e-9)
+          (fun () ->
+            Printf.sprintf "interrupted work ran %.9g > declared work %.9g" duration
+              seg.Sim_run.work)
+      else
+        check t.conserve ~time
+          (close duration seg.Sim_run.work)
+          (fun () ->
+            Printf.sprintf "completed work ran %.9g, declared %.9g" duration
+              seg.Sim_run.work)
+  | Sim_run.Checkpoint_phase, Some seg ->
+      if e.interrupted then
+        check t.conserve ~time
+          (duration <= seg.Sim_run.checkpoint +. 1e-9)
+          (fun () ->
+            Printf.sprintf "interrupted checkpoint ran %.9g > declared cost %.9g" duration
+              seg.Sim_run.checkpoint)
+      else
+        check t.conserve ~time
+          (close duration seg.Sim_run.checkpoint)
+          (fun () ->
+            Printf.sprintf "completed checkpoint ran %.9g, declared cost %.9g" duration
+              seg.Sim_run.checkpoint)
+  | Sim_run.Recovery_phase, Some seg ->
+      if e.interrupted then
+        check t.conserve ~time
+          (duration <= seg.Sim_run.recovery +. 1e-9)
+          (fun () ->
+            Printf.sprintf "interrupted recovery ran %.9g > declared cost %.9g" duration
+              seg.Sim_run.recovery)
+      else
+        check t.conserve ~time
+          (close duration seg.Sim_run.recovery)
+          (fun () ->
+            Printf.sprintf "completed recovery ran %.9g, declared cost %.9g" duration
+              seg.Sim_run.recovery)
+  | Sim_run.Downtime_phase, _ ->
+      check t.conserve ~time
+        (close duration t.spec.downtime)
+        (fun () ->
+          Printf.sprintf "downtime window of %.9g, model says %.9g" duration
+            t.spec.downtime)
+  | (Sim_run.Work_phase | Sim_run.Checkpoint_phase | Sim_run.Recovery_phase), None -> ());
+  (* downtime-immunity: the paper's model forbids failures during
+     downtime. *)
+  match e.phase with
+  | Sim_run.Downtime_phase ->
+      check t.immunity ~time
+        (not e.interrupted)
+        (fun () -> "a failure struck inside a downtime window")
+  | Sim_run.Work_phase | Sim_run.Checkpoint_phase | Sim_run.Recovery_phase -> ()
+
+let finalize t ~makespan =
+  (* makespan-bound: no schedule beats the failure-free execution. *)
+  check t.bound ~time:makespan
+    (makespan >= t.spec.lower_bound -. (1e-9 *. Float.max 1.0 t.spec.lower_bound))
+    (fun () ->
+      Printf.sprintf "makespan %.9g below the failure-free lower bound %.9g" makespan
+        t.spec.lower_bound);
+  check t.mono ~time:makespan
+    (close makespan t.prev_finish)
+    (fun () ->
+      Printf.sprintf "makespan %.9g does not match the last event finish %.9g" makespan
+        t.prev_finish);
+  (* work-conservation closing check: every segment that started also
+     completed its declared work (the run cannot "finish" with work
+     still owed). *)
+  Hashtbl.iter
+    (fun segment completed ->
+      check t.conserve ~time:makespan completed (fun () ->
+          Printf.sprintf "segment %d started but never completed its declared work" segment))
+    t.started;
+  List.map
+    (fun m ->
+      {
+        monitor = m.name;
+        checks = m.checks;
+        violations = m.violations;
+        examples = List.rev m.examples;
+      })
+    [ t.mono; t.conserve; t.committed; t.bound; t.immunity ]
+
+let ok verdicts = List.for_all (fun (v : verdict) -> v.violations = 0) verdicts
+
+let total_violations verdicts =
+  List.fold_left (fun a (v : verdict) -> a + v.violations) 0 verdicts
+
+let total_checks verdicts = List.fold_left (fun a (v : verdict) -> a + v.checks) 0 verdicts

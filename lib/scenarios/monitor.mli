@@ -1,0 +1,68 @@
+(** Runtime invariant monitors over {!Ckpt_sim.Sim_run} event streams.
+
+    A monitor set watches every event an executor emits and checks the
+    model-level invariants no correct run may break, whatever the fault
+    scenario:
+
+    - {b monotone-timeline}: events arrive in chronological order, every
+      timestamp is finite, no event runs backwards, and the reported
+      makespan equals the last event's finish;
+    - {b work-conservation}: completed phases last exactly their declared
+      duration, interrupted phases no longer than it, and every segment
+      that starts eventually completes its declared work;
+    - {b committed-progress}: no event ever re-executes at or before the
+      last committed (uninterrupted) checkpoint — progress made durable
+      is never lost;
+    - {b makespan-bound}: the makespan is at least the failure-free
+      lower bound (failures can only slow a run down);
+    - {b downtime-immunity}: no failure strikes inside a downtime window
+      (Section 2 of the paper forbids it).
+
+    Checks are pure observations: a violation is recorded, never raised,
+    so a broken engine produces a complete report rather than a stack
+    trace. All state is single-domain mutable, like the executors it
+    watches. *)
+
+type spec = {
+  downtime : float;  (** The run's downtime D, for window-length checks. *)
+  lower_bound : float;  (** Failure-free makespan lower bound. *)
+  expected : int -> Ckpt_sim.Sim_run.segment option;
+      (** Declared durations for an event's [segment] index ([work],
+          [checkpoint], and the [recovery] re-establishing that
+          segment's start state); [None] disables duration checks for
+          that index. *)
+}
+
+type violation = {
+  monitor : string;
+  time : float;  (** Event start (or makespan, for closing checks). *)
+  message : string;
+}
+
+type verdict = {
+  monitor : string;
+  checks : int;  (** Total checks performed. *)
+  violations : int;  (** Total checks failed. *)
+  examples : violation list;  (** First failures, capped at 16. *)
+}
+
+type t
+
+val monitor_names : string list
+(** The five monitor names, in verdict order. *)
+
+val create : spec -> t
+
+val on_event : t -> Ckpt_sim.Sim_run.event -> unit
+(** Feed the next event (wire as the executor's [emit], or call from
+    inside it). Events must be fed in emission order. *)
+
+val finalize : t -> makespan:float -> verdict list
+(** Run the closing checks and return one verdict per monitor, in
+    {!monitor_names} order. Call exactly once, after the run. *)
+
+val ok : verdict list -> bool
+(** No monitor recorded a violation. *)
+
+val total_violations : verdict list -> int
+val total_checks : verdict list -> int

@@ -1,0 +1,69 @@
+(** Deterministic fault-scenario registry.
+
+    A scenario is a fixed workload plus a fault-injector construction;
+    running one by [name] and [seed] replays the exact same failure
+    pattern, event stream and monitor verdicts every time, on every
+    machine — the reproduction contract behind a bug report of the form
+    "scenario X, seed N".
+
+    {1 Seeding contract}
+
+    [run t ~seed] derives every random draw from
+    [Rng.substream (Rng.create ~seed) "inject"] (trace-style scenarios
+    derive further labelled substreams from it). The workload shape
+    never depends on the seed. Two runs with the same name and seed
+    therefore produce bit-identical event streams, stats, verdicts —
+    and [digest], which pins all of them (MD5 over the rendered events
+    at full float precision plus stats and verdicts).
+
+    Every run feeds each emitted event to the full {!Monitor} set and
+    emits [scenario.*] metrics ([runs], [monitor_checks],
+    [monitor_violations], and a per-scenario violation counter). *)
+
+type workload =
+  | Segments of { segments : Ckpt_sim.Sim_run.segment list; downtime : float }
+  | Chain of {
+      tasks : Ckpt_dag.Task.t array;
+      initial_recovery : float;
+      downtime : float;
+      period : int;  (** Checkpoint after every [period]-th task. *)
+    }
+
+type t = {
+  name : string;
+  description : string;
+  workload : workload;
+  injector :
+    phase:(unit -> Ckpt_failures.Injector.phase) ->
+    Ckpt_prng.Rng.t ->
+    Ckpt_failures.Injector.t;
+      (** Build the scenario's fault source. [phase] reports the engine
+          phase about to execute (wired to the executor's [on_phase]
+          hook), for phase-coupled injectors. *)
+}
+
+type outcome = {
+  scenario : string;
+  seed : int64;
+  stats : Ckpt_sim.Sim_run.run_stats;
+  events : Ckpt_sim.Sim_run.event list;  (** Chronological. *)
+  verdicts : Monitor.verdict list;  (** One per monitor. *)
+  digest : string;  (** Hex MD5 pinning events + stats + verdicts. *)
+}
+
+val spec_of_workload : workload -> Monitor.spec
+(** The monitor spec a workload implies: declared per-segment durations
+    and the failure-free makespan lower bound (for {!Chain}, under its
+    failure-independent periodic policy). *)
+
+val run : t -> seed:int64 -> outcome
+(** Execute one scenario deterministically and monitor every event. *)
+
+val all : t list
+(** The registry, in a fixed order. *)
+
+val names : unit -> string list
+val find : string -> t option
+
+val run_all : seed:int64 -> outcome list
+(** Run the whole registry with the same seed (the CI smoke pass). *)

@@ -7,7 +7,18 @@ module Metrics = Ckpt_obs.Metrics
    (see Ckpt_obs.Metrics on the merge order). *)
 let m_failures = Metrics.counter "sim.failures"
 let m_checkpoints = Metrics.counter "sim.checkpoints"
+
+(* Productive work re-executed because of failures: the work elapsed in
+   an interrupted work phase, plus the whole segment's work when the
+   checkpoint that would have made it durable is interrupted. Checkpoint
+   and recovery time are not work; they land in sim.lost_time. *)
 let m_lost_work = Metrics.sum "sim.lost_work"
+
+(* Wall-clock wiped out by failures: the elapsed portion of every
+   interrupted work/checkpoint/recovery window, measured from the last
+   commit point (attempt or recovery start). Downtime windows are not
+   included — they are sim.failures * D by construction. *)
+let m_lost_time = Metrics.sum "sim.lost_time"
 
 let m_failures_per_run =
   Metrics.histogram "sim.failures_per_run"
@@ -16,7 +27,8 @@ let m_failures_per_run =
 type segment = { work : float; checkpoint : float; recovery : float }
 
 let segment ~work ~checkpoint ~recovery =
-  if work < 0.0 || checkpoint < 0.0 || recovery < 0.0 then
+  (* [not (x >= 0)] also rejects NaN, which [x < 0] would admit. *)
+  if not (work >= 0.0 && checkpoint >= 0.0 && recovery >= 0.0) then
     invalid_arg "Sim_run.segment: durations must be non-negative";
   { work; checkpoint; recovery }
 
@@ -28,25 +40,6 @@ let count_failure ~max_failures counter =
   incr counter;
   Metrics.incr m_failures;
   if !counter > max_failures then raise (Livelock !counter)
-
-(* Run a recovery of length [recovery]: failures restart downtime +
-   recovery; returns the completion time. [on_failure] observes each
-   failure instant (the chain executor tracks the last failure time for
-   the policy context). *)
-let run_recovery ?(on_failure = fun (_ : float) -> ()) ~max_failures ~counter ~downtime
-    ~next_failure ~recovery start =
-  let rec loop t =
-    let finish = t +. recovery in
-    let fail = next_failure t in
-    if fail >= finish then finish
-    else begin
-      count_failure ~max_failures counter;
-      Metrics.add m_lost_work (fail -. t);
-      on_failure fail;
-      loop (fail +. downtime)
-    end
-  in
-  loop start
 
 type run_stats = { makespan : float; failures : int }
 
@@ -61,63 +54,117 @@ type event = {
 }
 
 let no_emit (_ : event) = ()
+let no_phase (_ : phase) (_ : float) = ()
 
-let run_segments_emitting ?(max_failures = default_max_failures) ~emit ~downtime
-    ~next_failure segments =
-  if downtime < 0.0 then invalid_arg "Sim_run.run_segments: negative downtime";
+(* A NaN failure time would silently read as "no failure" under every
+   [<] comparison below, turning a broken injector into an invisible
+   optimistic engine; fail fast instead. *)
+let checked_next next_failure t =
+  let fail = next_failure t in
+  if Float.is_nan fail then
+    invalid_arg "Sim_run: next_failure returned NaN";
+  fail
+
+(* Run a recovery of length [recovery]: failures restart downtime +
+   recovery; returns the completion time. [on_failure] observes each
+   failure instant (the chain executor tracks the last failure time for
+   the policy context); [emit]/[on_phase] observe the event log, with
+   [segment] the index the recovery will resume. *)
+let run_recovery ?(on_failure = fun (_ : float) -> ()) ?(emit = no_emit)
+    ?(on_phase = no_phase) ~max_failures ~counter ~segment:index ~downtime
+    ~next_failure ~recovery start =
+  let rec loop t =
+    on_phase Recovery_phase t;
+    let finish = t +. recovery in
+    let fail = checked_next next_failure t in
+    if fail >= finish then begin
+      if recovery > 0.0 then
+        emit { phase = Recovery_phase; segment = index; start = t; finish;
+               interrupted = false };
+      finish
+    end
+    else begin
+      count_failure ~max_failures counter;
+      Metrics.add m_lost_time (fail -. t);
+      on_failure fail;
+      emit { phase = Recovery_phase; segment = index; start = t; finish = fail;
+             interrupted = true };
+      on_phase Downtime_phase fail;
+      emit { phase = Downtime_phase; segment = index; start = fail;
+             finish = fail +. downtime; interrupted = false };
+      loop (fail +. downtime)
+    end
+  in
+  loop start
+
+let run_segments_emitting ?(max_failures = default_max_failures) ?(on_phase = no_phase)
+    ~emit ~downtime ~next_failure segments =
+  if not (downtime >= 0.0) then invalid_arg "Sim_run.run_segments: negative downtime";
   let counter = ref 0 in
   let run_segment t (index, seg) =
-    (* Emit the work/checkpoint spans of one attempt window ending (or
-       interrupted) at [stop]. *)
-    let emit_attempt t stop interrupted =
-      let work_end = t +. seg.work in
-      if stop <= work_end then begin
-        if stop > t || interrupted then
-          emit { phase = Work_phase; segment = index; start = t; finish = stop; interrupted }
-      end
-      else begin
-        if seg.work > 0.0 then
-          emit { phase = Work_phase; segment = index; start = t; finish = work_end;
-                 interrupted = false };
-        emit { phase = Checkpoint_phase; segment = index; start = work_end; finish = stop;
-               interrupted }
-      end
-    in
-    let rec recover t =
-      let finish = t +. seg.recovery in
-      let fail = next_failure t in
-      if fail >= finish then begin
-        if seg.recovery > 0.0 then
-          emit { phase = Recovery_phase; segment = index; start = t; finish;
-                 interrupted = false };
-        finish
-      end
-      else begin
-        count_failure ~max_failures counter;
-        Metrics.add m_lost_work (fail -. t);
-        emit { phase = Recovery_phase; segment = index; start = t; finish = fail;
-               interrupted = true };
-        emit { phase = Downtime_phase; segment = index; start = fail;
-               finish = fail +. downtime; interrupted = false };
-        recover (fail +. downtime)
-      end
+    let recover fail_time =
+      on_phase Downtime_phase fail_time;
+      emit { phase = Downtime_phase; segment = index; start = fail_time;
+             finish = fail_time +. downtime; interrupted = false };
+      run_recovery ~emit ~on_phase ~max_failures ~counter ~segment:index ~downtime
+        ~next_failure ~recovery:seg.recovery (fail_time +. downtime)
     in
     let rec attempt t =
-      let finish = t +. seg.work +. seg.checkpoint in
-      let fail = next_failure t in
-      if fail >= finish then begin
-        emit_attempt t finish false;
-        Metrics.incr m_checkpoints;
-        finish
-      end
-      else begin
-        count_failure ~max_failures counter;
-        Metrics.add m_lost_work (fail -. t);
-        emit_attempt t fail true;
-        emit { phase = Downtime_phase; segment = index; start = fail;
-               finish = fail +. downtime; interrupted = false };
-        attempt (recover (fail +. downtime))
-      end
+      let work_end = t +. seg.work in
+      let ckpt_end = work_end +. seg.checkpoint in
+      (* Each phase makes its own failure query (as the chain executor
+         always has), so phase-aware injectors see the right phase. The
+         split is behaviour-preserving for the stream sources: a pending
+         failure strictly later than the query time is stable across
+         non-decreasing queries. *)
+      let work_fail =
+        if seg.work > 0.0 then begin
+          on_phase Work_phase t;
+          let fail = checked_next next_failure t in
+          (* A failure at the exact work/checkpoint boundary interrupts
+             the work phase — unless the whole attempt completes there
+             (zero checkpoint), in which case completion wins. *)
+          if fail < ckpt_end && fail <= work_end then Some fail else None
+        end
+        else None
+      in
+      match work_fail with
+      | Some fail ->
+          count_failure ~max_failures counter;
+          Metrics.add m_lost_work (fail -. t);
+          Metrics.add m_lost_time (fail -. t);
+          emit { phase = Work_phase; segment = index; start = t; finish = fail;
+                 interrupted = true };
+          attempt (recover fail)
+      | None ->
+          if seg.work > 0.0 then
+            emit { phase = Work_phase; segment = index; start = t; finish = work_end;
+                   interrupted = false };
+          if seg.checkpoint > 0.0 then begin
+            on_phase Checkpoint_phase work_end;
+            let fail = checked_next next_failure work_end in
+            if fail < ckpt_end then begin
+              count_failure ~max_failures counter;
+              (* The checkpoint failed: the segment's work is lost in
+                 full, but the checkpoint time elapsed is lost *time*,
+                 not lost work. *)
+              Metrics.add m_lost_work seg.work;
+              Metrics.add m_lost_time (fail -. t);
+              emit { phase = Checkpoint_phase; segment = index; start = work_end;
+                     finish = fail; interrupted = true };
+              attempt (recover fail)
+            end
+            else begin
+              emit { phase = Checkpoint_phase; segment = index; start = work_end;
+                     finish = ckpt_end; interrupted = false };
+              Metrics.incr m_checkpoints;
+              ckpt_end
+            end
+          end
+          else begin
+            Metrics.incr m_checkpoints;
+            work_end
+          end
     in
     attempt t
   in
@@ -127,8 +174,9 @@ let run_segments_emitting ?(max_failures = default_max_failures) ~emit ~downtime
   Metrics.observe m_failures_per_run (float_of_int !counter);
   { makespan; failures = !counter }
 
-let run_segments_stats ?max_failures ~downtime ~next_failure segments =
-  run_segments_emitting ?max_failures ~emit:no_emit ~downtime ~next_failure segments
+let run_segments_stats ?max_failures ?on_phase ~downtime ~next_failure segments =
+  run_segments_emitting ?max_failures ?on_phase ~emit:no_emit ~downtime ~next_failure
+    segments
 
 let run_segments ?max_failures ~downtime ~next_failure segments =
   (run_segments_stats ?max_failures ~downtime ~next_failure segments).makespan
@@ -147,11 +195,11 @@ type chain_context = {
   work_since_checkpoint : float;
 }
 
-let run_chain_policy ?(max_failures = default_max_failures) ~initial_recovery ~downtime
-    ~decide ~next_failure tasks =
-  if initial_recovery < 0.0 then
+let run_chain_policy_stats ?(max_failures = default_max_failures) ?(emit = no_emit)
+    ?(on_phase = no_phase) ~initial_recovery ~downtime ~decide ~next_failure tasks =
+  if not (initial_recovery >= 0.0) then
     invalid_arg "Sim_run.run_chain_policy: negative initial recovery";
-  if downtime < 0.0 then invalid_arg "Sim_run.run_chain_policy: negative downtime";
+  if not (downtime >= 0.0) then invalid_arg "Sim_run.run_chain_policy: negative downtime";
   let counter = ref 0 in
   let n = Array.length tasks in
   let last_failure = ref 0.0 in
@@ -159,15 +207,27 @@ let run_chain_policy ?(max_failures = default_max_failures) ~initial_recovery ~d
     if last_ckpt < 0 then initial_recovery else tasks.(last_ckpt).Task.recovery_cost
   in
   (* [execute t last_ckpt i acc_work] runs tasks i.. with [acc_work]
-     work accumulated since the checkpoint after task [last_ckpt]. *)
+     work accumulated since the checkpoint after task [last_ckpt].
+     Tasks run back to back after a commit point (recovery end or
+     checkpoint end), so the wall-clock elapsed since that point is
+     acc_work plus the elapsed portion of the current phase. *)
   let rec execute t last_ckpt i acc_work =
     if i >= n then t
     else begin
       let task = tasks.(i) in
       let finish = t +. task.Task.work in
-      let fail = next_failure t in
-      if fail < finish then rollback ~lost:(acc_work +. (fail -. t)) fail last_ckpt
+      on_phase Work_phase t;
+      let fail = checked_next next_failure t in
+      if fail < finish then begin
+        emit { phase = Work_phase; segment = i; start = t; finish = fail;
+               interrupted = true };
+        (* Everything elapsed since the commit point is work, so lost
+           work and lost time coincide here. *)
+        let lost = acc_work +. (fail -. t) in
+        rollback ~lost_work:lost ~lost_time:lost fail last_ckpt
+      end
       else begin
+        emit { phase = Work_phase; segment = i; start = t; finish; interrupted = false };
         let acc_work = acc_work +. task.Task.work in
         let ctx =
           {
@@ -182,9 +242,24 @@ let run_chain_policy ?(max_failures = default_max_failures) ~initial_recovery ~d
         if not wants_checkpoint then execute finish last_ckpt (i + 1) acc_work
         else begin
           let ckpt_finish = finish +. task.Task.checkpoint_cost in
-          let fail = next_failure finish in
-          if fail < ckpt_finish then
-            rollback ~lost:(acc_work +. (fail -. finish)) fail last_ckpt
+          if task.Task.checkpoint_cost > 0.0 then begin
+            on_phase Checkpoint_phase finish;
+            let fail = checked_next next_failure finish in
+            if fail < ckpt_finish then begin
+              emit { phase = Checkpoint_phase; segment = i; start = finish;
+                     finish = fail; interrupted = true };
+              (* Only the work since the last checkpoint is lost work;
+                 the checkpoint time elapsed is lost time. *)
+              rollback ~lost_work:acc_work ~lost_time:(acc_work +. (fail -. finish))
+                fail last_ckpt
+            end
+            else begin
+              emit { phase = Checkpoint_phase; segment = i; start = finish;
+                     finish = ckpt_finish; interrupted = false };
+              Metrics.incr m_checkpoints;
+              execute ckpt_finish i (i + 1) 0.0
+            end
+          end
           else begin
             Metrics.incr m_checkpoints;
             execute ckpt_finish i (i + 1) 0.0
@@ -192,18 +267,32 @@ let run_chain_policy ?(max_failures = default_max_failures) ~initial_recovery ~d
         end
       end
     end
-  and rollback ~lost fail_time last_ckpt =
+  and rollback ~lost_work ~lost_time fail_time last_ckpt =
     count_failure ~max_failures counter;
-    Metrics.add m_lost_work lost;
+    Metrics.add m_lost_work lost_work;
+    Metrics.add m_lost_time lost_time;
     last_failure := fail_time;
+    (* Downtime/recovery events carry the index of the task execution
+       resumes with, mirroring the segment executor's convention (the
+       recovery re-establishes that task's starting state). *)
+    let resume = last_ckpt + 1 in
+    on_phase Downtime_phase fail_time;
+    emit { phase = Downtime_phase; segment = resume; start = fail_time;
+           finish = fail_time +. downtime; interrupted = false };
     let recovered =
       run_recovery
         ~on_failure:(fun fail -> last_failure := fail)
-        ~max_failures ~counter ~downtime ~next_failure
+        ~emit ~on_phase ~max_failures ~counter ~segment:resume ~downtime ~next_failure
         ~recovery:(recovery_of last_ckpt) (fail_time +. downtime)
     in
-    execute recovered last_ckpt (last_ckpt + 1) 0.0
+    execute recovered last_ckpt resume 0.0
   in
   let makespan = execute 0.0 (-1) 0 0.0 in
   Metrics.observe m_failures_per_run (float_of_int !counter);
-  makespan
+  { makespan; failures = !counter }
+
+let run_chain_policy ?max_failures ?emit ?on_phase ~initial_recovery ~downtime ~decide
+    ~next_failure tasks =
+  (run_chain_policy_stats ?max_failures ?emit ?on_phase ~initial_recovery ~downtime
+     ~decide ~next_failure tasks)
+    .makespan

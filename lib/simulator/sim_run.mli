@@ -8,7 +8,30 @@
     - failures may strike during recovery (restarting downtime +
       recovery) but not during downtime;
     - after a successful recovery, the interrupted portion restarts from
-      the last checkpointed state. *)
+      the last checkpointed state.
+
+    {1 Failure queries}
+
+    Both executors query [next_failure] once per {e phase} (work,
+    checkpoint, and each recovery attempt), with non-decreasing times —
+    so a phase-aware injector ({!Ckpt_failures.Injector}) observes the
+    phase about to run via the [on_phase] hook before each query.
+    [next_failure t] must return a non-NaN time strictly later than [t]
+    (NaN raises [Invalid_argument]: under float comparison NaN would
+    silently read as "no failure ever").
+
+    {1 Loss accounting}
+
+    Two loss metrics are kept, with consistent attribution across both
+    executors:
+    - [sim.lost_work]: productive {e work} that must be re-executed — the
+      work elapsed in an interrupted work phase, or the whole
+      work-since-last-checkpoint when the checkpoint persisting it is
+      interrupted. Checkpoint and recovery time never count.
+    - [sim.lost_time]: wall-clock wiped out by failures — the elapsed
+      portion of every interrupted work/checkpoint/recovery window,
+      measured from the last commit point. Downtime is excluded (it is
+      [sim.failures * D] by construction). *)
 
 type segment = {
   work : float;  (** Total work executed in the segment (>= 0). *)
@@ -21,23 +44,13 @@ type segment = {
 }
 
 val segment : work:float -> checkpoint:float -> recovery:float -> segment
-(** Validated constructor. *)
+(** Validated constructor; rejects negative and NaN durations. *)
 
 exception Livelock of int
 (** Raised when a single run absorbs more failures than its
     [max_failures] bound: the workload can never finish (e.g. a
     deterministic failure period shorter than a recovery), or the bound
     was set too low. Carries the failure count reached. *)
-
-val run_segments :
-  ?max_failures:int ->
-  downtime:float -> next_failure:(float -> float) -> segment list -> float
-(** [run_segments ~downtime ~next_failure segments] executes the
-    segments in order starting at time 0 and returns the makespan.
-    [next_failure t] must return the absolute time of the first failure
-    strictly after [t] (see {!Ckpt_failures.Failure_stream.next_after});
-    queries are made with non-decreasing [t]. Raises {!Livelock} after
-    [max_failures] failures (default 10,000,000). *)
 
 type run_stats = {
   makespan : float;
@@ -52,11 +65,36 @@ type phase =
 
 type event = {
   phase : phase;
-  segment : int;  (** 0-based index of the segment being executed. *)
+  segment : int;
+      (** 0-based index of the segment (or chain task) being executed;
+          downtime/recovery events carry the index execution resumes
+          with. *)
   start : float;
   finish : float;  (** Truncated at the failure instant when interrupted. *)
   interrupted : bool;
 }
+
+val run_segments_emitting :
+  ?max_failures:int ->
+  ?on_phase:(phase -> float -> unit) ->
+  emit:(event -> unit) ->
+  downtime:float -> next_failure:(float -> float) -> segment list -> run_stats
+(** The fully-instrumented segment executor. [emit] observes every
+    completed or interrupted phase in chronological order (the monitor
+    hook of the scenario harness); [on_phase] is called with each phase
+    about to execute and its start time, {e before} that phase's failure
+    query — zero-length phases are skipped entirely (no hook, no query,
+    no event). Raises {!Livelock} after [max_failures] failures
+    (default 10,000,000). *)
+
+val run_segments :
+  ?max_failures:int ->
+  downtime:float -> next_failure:(float -> float) -> segment list -> float
+(** [run_segments ~downtime ~next_failure segments] executes the
+    segments in order starting at time 0 and returns the makespan.
+    [next_failure t] must return the absolute time of the first failure
+    strictly after [t] (see {!Ckpt_failures.Failure_stream.next_after});
+    queries are made with non-decreasing [t]. *)
 
 val run_segments_traced :
   ?max_failures:int ->
@@ -68,6 +106,7 @@ val run_segments_traced :
 
 val run_segments_stats :
   ?max_failures:int ->
+  ?on_phase:(phase -> float -> unit) ->
   downtime:float -> next_failure:(float -> float) -> segment list -> run_stats
 (** {!run_segments} plus the failure count, for validating the expected
     failure-count formula ({!Ckpt_core.Expected_time.expected_failures}). *)
@@ -87,14 +126,16 @@ type chain_context = {
           including the task that just completed. *)
 }
 
-val run_chain_policy :
+val run_chain_policy_stats :
   ?max_failures:int ->
+  ?emit:(event -> unit) ->
+  ?on_phase:(phase -> float -> unit) ->
   initial_recovery:float ->
   downtime:float ->
   decide:(chain_context -> bool) ->
   next_failure:(float -> float) ->
   Ckpt_dag.Task.t array ->
-  float
+  run_stats
 (** Execute a linear chain task by task; after each completed task, the
     [decide] callback chooses whether to checkpoint (at that task's
     [checkpoint_cost]). A failure rolls back to the last checkpointed
@@ -102,5 +143,19 @@ val run_chain_policy :
     [initial_recovery] when no checkpoint was taken yet) and the tasks
     after it re-execute, [decide] being consulted anew. A checkpoint is
     always taken after the final task, closing the run, as in the
-    paper's model. Returns the makespan. Raises {!Livelock} after
-    [max_failures] failures (default 10,000,000). *)
+    paper's model. [emit] and [on_phase] observe the run exactly as in
+    {!run_segments_emitting}, with [event.segment] carrying the task
+    index. Raises {!Livelock} after [max_failures] failures
+    (default 10,000,000). *)
+
+val run_chain_policy :
+  ?max_failures:int ->
+  ?emit:(event -> unit) ->
+  ?on_phase:(phase -> float -> unit) ->
+  initial_recovery:float ->
+  downtime:float ->
+  decide:(chain_context -> bool) ->
+  next_failure:(float -> float) ->
+  Ckpt_dag.Task.t array ->
+  float
+(** {!run_chain_policy_stats} returning only the makespan. *)

@@ -251,9 +251,221 @@ let test_cascading_failure_count () =
                 -. Float.expm1 0.5)
      < 1e-12)
 
+module Injector = Ckpt_failures.Injector
+
+let test_heap_rejects_nan () =
+  let h = Min_heap.create () in
+  Alcotest.check_raises "NaN key rejected" (Invalid_argument "Min_heap.push: NaN key")
+    (fun () -> Min_heap.push h Float.nan "x");
+  Alcotest.(check bool) "heap untouched after rejection" true (Min_heap.is_empty h)
+
+(* Model-based property test: the heap against a sorted association
+   list, under arbitrary push/pop/clear interleavings (pop keys must
+   come out in the model's order; sizes must track exactly). *)
+let qcheck_heap_model =
+  QCheck.Test.make ~name:"heap matches sorted-list model (push/pop/clear)" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 120) (pair (int_bound 9) (float_range 0.0 1000.0)))
+    (fun ops ->
+      let h = Min_heap.create () in
+      let model = ref [] in
+      let fresh = ref 0 in
+      List.for_all
+        (fun (kind, key) ->
+          if kind <= 5 then begin
+            incr fresh;
+            Min_heap.push h key !fresh;
+            model :=
+              List.merge
+                (fun (a, _) (b, _) -> Float.compare a b)
+                [ (key, !fresh) ] !model;
+            Min_heap.size h = List.length !model
+          end
+          else if kind <= 8 then
+            match (Min_heap.pop h, !model) with
+            | None, [] -> true
+            | Some (k, _), (mk, _) :: rest ->
+                model := rest;
+                Float.equal k mk
+            | Some _, [] | None, _ :: _ -> false
+          else begin
+            Min_heap.clear h;
+            model := [];
+            Min_heap.is_empty h && Min_heap.pop h = None
+          end)
+        ops)
+
+let test_of_times_tie_coalescing () =
+  (* Three processors down at exactly t=5, two more at t=9: each burst
+     is delivered as one platform failure (see the simultaneity
+     semantics in Failure_stream's interface). *)
+  let s = Failure_stream.of_times [| 5.0; 5.0; 5.0; 9.0; 9.0 |] in
+  Alcotest.(check (float 0.0)) "burst delivered once" 5.0 (Failure_stream.next_after s 0.0);
+  Alcotest.(check (float 0.0)) "co-timed duplicates consumed" 9.0
+    (Failure_stream.next_after s 5.0);
+  Alcotest.(check (float 0.0)) "exhausted" infinity (Failure_stream.next_after s 9.0)
+
+let test_renewal_tie_coalescing () =
+  (* A deterministic law puts every processor clock at the same instants:
+     the renewal source must coalesce each co-timed burst too. *)
+  let rng = Rng.create ~seed:11L in
+  let s = Failure_stream.renewal ~law:(Law.deterministic 5.0) ~processors:4 rng in
+  Alcotest.(check (float 0.0)) "first burst" 5.0 (Failure_stream.next_after s 0.0);
+  Alcotest.(check (float 0.0)) "all clocks renewed at the tie" 10.0
+    (Failure_stream.next_after s 5.0);
+  Alcotest.(check (float 0.0)) "and again" 15.0 (Failure_stream.next_after s 10.0)
+
+let test_poisson_tie_strictly_later () =
+  (* Querying at exactly a delivered failure time always yields a
+     strictly later failure — the contract that makes zero-downtime
+     engine loops terminate. *)
+  let rng = Rng.create ~seed:17L in
+  let s = Failure_stream.poisson ~rate:2.0 rng in
+  let t = ref 0.0 in
+  for _ = 1 to 1000 do
+    let f = Failure_stream.next_after s !t in
+    if not (f > !t) then Alcotest.failf "failure %g not strictly after query %g" f !t;
+    t := f
+  done
+
+let test_injector_masked_subsequence () =
+  (* Delivered failures are a strictly increasing subsequence of the
+     base trace, and repeated queries are stable. *)
+  let base_times = Array.init 50 (fun i -> float_of_int (i + 1)) in
+  let rng = Rng.create ~seed:23L in
+  let inj =
+    Injector.masked ~survive_prob:0.5 rng
+      (Injector.of_stream (Failure_stream.of_times base_times))
+  in
+  let rec drain t acc =
+    let f = Injector.next inj t in
+    let f' = Injector.next inj t in
+    if not (Float.equal f f') then Alcotest.failf "query at %g not stable" t;
+    if Float.equal f infinity then List.rev acc
+    else begin
+      if not (f > t) then Alcotest.failf "masked failure %g not after %g" f t;
+      drain f (f :: acc)
+    end
+  in
+  let delivered = drain 0.0 [] in
+  Alcotest.(check bool) "some failures delivered" true (List.length delivered > 0);
+  Alcotest.(check bool) "some failures masked" true
+    (List.length delivered < Array.length base_times);
+  List.iter
+    (fun f ->
+      if not (Array.exists (fun b -> Float.equal b f) base_times) then
+        Alcotest.failf "delivered %g is not a base failure" f)
+    delivered;
+  (* survive_prob = 0 masks nothing: the injector is the base stream. *)
+  let plain =
+    Injector.masked ~survive_prob:0.0 (Rng.create ~seed:1L)
+      (Injector.of_stream (Failure_stream.of_times [| 2.0; 4.0 |]))
+  in
+  Alcotest.(check (float 0.0)) "nothing masked" 2.0 (Injector.next plain 0.0);
+  Alcotest.(check (float 0.0)) "nothing masked (2)" 4.0 (Injector.next plain 2.0);
+  Alcotest.check_raises "survive_prob = 1 rejected"
+    (Invalid_argument "Injector.masked: survive_prob must be in [0, 1)") (fun () ->
+      ignore (Injector.masked ~survive_prob:1.0 (Rng.create ~seed:1L) Injector.never))
+
+let test_injector_aftershocks () =
+  (* probability 0: no cascades, identical to the base trace. *)
+  let rng = Rng.create ~seed:29L in
+  let inj =
+    Injector.aftershocks ~probability:0.0 ~rate:1.0 ~window:10.0 rng
+      (Injector.of_stream (Failure_stream.of_times [| 3.0; 8.0 |]))
+  in
+  Alcotest.(check (float 0.0)) "base passthrough" 3.0 (Injector.next inj 0.0);
+  Alcotest.(check (float 0.0)) "base passthrough (2)" 8.0 (Injector.next inj 3.0);
+  Alcotest.(check (float 0.0)) "no aftershocks" infinity (Injector.next inj 8.0);
+  (* High probability: the cascade stays finite (sub-critical) and every
+     delivered failure is strictly later than its query. *)
+  let rng = Rng.create ~seed:31L in
+  let inj =
+    Injector.aftershocks ~probability:0.8 ~rate:2.0 ~window:25.0 rng
+      (Injector.of_stream (Failure_stream.of_times [| 10.0 |]))
+  in
+  let rec drain t n =
+    if n > 10_000 then Alcotest.fail "aftershock cascade did not terminate";
+    let f = Injector.next inj t in
+    if Float.equal f infinity then n
+    else begin
+      if not (f > t) then Alcotest.failf "aftershock %g not after %g" f t;
+      drain f (n + 1)
+    end
+  in
+  let count = drain 0.0 0 in
+  Alcotest.(check bool) "base failure delivered" true (count >= 1)
+
+let test_injector_phase_modulated () =
+  let cell = ref Injector.Work in
+  let rng = Rng.create ~seed:37L in
+  let inj =
+    Injector.exp_phase_modulated ~base_rate:1.0
+      ~multiplier:(function
+        | Injector.Work -> 1.0
+        | Injector.Checkpoint -> 0.0
+        | Injector.Recovery -> 4.0
+        | Injector.Downtime -> 0.0)
+      ~phase:(fun () -> !cell)
+      rng
+  in
+  let f1 = Injector.next inj 0.0 in
+  Alcotest.(check bool) "work-phase failure finite and later" true
+    (Float.is_finite f1 && f1 > 0.0);
+  Alcotest.(check (float 0.0)) "same-phase query stable" f1 (Injector.next inj 0.0);
+  cell := Injector.Checkpoint;
+  Alcotest.(check (float 0.0)) "zero multiplier = failure-free phase" infinity
+    (Injector.next inj 0.0);
+  cell := Injector.Work;
+  let f2 = Injector.next inj 0.5 in
+  Alcotest.(check bool) "redrawn after phase change" true (Float.is_finite f2 && f2 > 0.5)
+
+let test_injector_nonhomogeneous () =
+  (* Same seed, same query sequence: bit-identical arrivals. *)
+  let arrivals seed =
+    let rng = Rng.create ~seed in
+    let inj =
+      Injector.nonhomogeneous ~rate:(fun t -> Float.min 0.5 (0.05 *. t)) ~rate_max:0.5 rng
+    in
+    let rec go t n acc =
+      if n = 0 then List.rev acc
+      else
+        let f = Injector.next inj t in
+        if not (f > t) then Alcotest.failf "NHPP arrival %g not after %g" f t;
+        go f (n - 1) (f :: acc)
+    in
+    go 0.0 20 []
+  in
+  Alcotest.(check bool) "reproducible" true (arrivals 41L = arrivals 41L);
+  Alcotest.(check bool) "seed-sensitive" true (arrivals 41L <> arrivals 43L);
+  (* A vanishing rate cannot spin the thinning loop: the horizon caps it. *)
+  let inj =
+    Injector.nonhomogeneous ~horizon:100.0
+      ~rate:(fun _ -> 0.0)
+      ~rate_max:1.0 (Rng.create ~seed:47L)
+  in
+  Alcotest.(check (float 0.0)) "horizon terminates zero-rate thinning" infinity
+    (Injector.next inj 0.0);
+  (* A rate exceeding the envelope is a hard error, not silent bias. *)
+  let inj =
+    Injector.nonhomogeneous ~rate:(fun _ -> 2.0) ~rate_max:1.0 (Rng.create ~seed:53L)
+  in
+  Alcotest.check_raises "rate above envelope rejected"
+    (Invalid_argument "Injector.nonhomogeneous: rate must stay within [0, rate_max]")
+    (fun () -> ignore (Injector.next inj 0.0))
+
 let suite =
   [
     Alcotest.test_case "min-heap basics" `Quick test_heap_basics;
+    Alcotest.test_case "min-heap rejects NaN" `Quick test_heap_rejects_nan;
+    QCheck_alcotest.to_alcotest qcheck_heap_model;
+    Alcotest.test_case "of_times tie coalescing" `Quick test_of_times_tie_coalescing;
+    Alcotest.test_case "renewal tie coalescing" `Quick test_renewal_tie_coalescing;
+    Alcotest.test_case "poisson strictly later at ties" `Quick
+      test_poisson_tie_strictly_later;
+    Alcotest.test_case "injector: masked" `Quick test_injector_masked_subsequence;
+    Alcotest.test_case "injector: aftershocks" `Quick test_injector_aftershocks;
+    Alcotest.test_case "injector: phase-modulated" `Quick test_injector_phase_modulated;
+    Alcotest.test_case "injector: non-homogeneous" `Quick test_injector_nonhomogeneous;
     Alcotest.test_case "cascading downtime closed form" `Slow test_cascading_closed_form;
     Alcotest.test_case "cascading failure count" `Quick test_cascading_failure_count;
     QCheck_alcotest.to_alcotest qcheck_heap_sorted;

@@ -28,6 +28,7 @@ let () =
       ("replication", Test_replication.suite);
       ("output-tools", Test_output_tools.suite);
       ("rejuvenation", Test_rejuvenation.suite);
+      ("scenarios", Test_scenarios.suite);
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
       ("bench", Test_bench.suite);

@@ -397,9 +397,187 @@ let test_collect_distribution () =
     (Ckpt_stats.Descriptive.mean d.Monte_carlo.samples)
     d.Monte_carlo.estimate.Monte_carlo.mean
 
+module Metrics = Ckpt_obs.Metrics
+
+let sum_metric name =
+  match Metrics.find (Metrics.snapshot ()) name with
+  | Some (_, Metrics.Sum s) -> s
+  | Some _ -> Alcotest.failf "metric %S is not a sum" name
+  | None -> Alcotest.failf "metric %S not registered" name
+
+(* Lost-work vs lost-time attribution, scripted (hand-computed):
+   sim.lost_work counts only productive work to re-execute; sim.lost_time
+   counts the wall clock wiped out in interrupted windows. *)
+let test_lost_accounting_segments () =
+  let segments = [ seg ~work:10.0 ~checkpoint:5.0 ~recovery:1.0 ] in
+  (* Failure at 12, inside the checkpoint (work done at 10): the whole
+     segment work (10) is lost work; the elapsed 12 since the attempt
+     started is lost time. Then D=1 to 13, recovery to 14, rerun
+     14 + 15 = 29. *)
+  Metrics.reset ();
+  close "makespan" 29.0 (run_with_failures ~downtime:1.0 segments [ 12.0 ]);
+  close "checkpoint failure loses the segment work" 10.0 (sum_metric "sim.lost_work");
+  close "and the full elapsed window as time" 12.0 (sum_metric "sim.lost_time");
+  (* Failure at 4, inside work: 4 units lost, both as work and time; a
+     second failure at 5.4, inside the recovery window (4.5, 5.5), adds
+     its elapsed 0.9 to lost time only. Timeline: down 5.4 -> 5.9,
+     recovery -> 6.9, work -> 16.9, checkpoint -> 21.9. *)
+  Metrics.reset ();
+  close "makespan (work + recovery failure)" 21.9
+    (run_with_failures ~downtime:0.5 segments [ 4.0; 5.4 ]);
+  close "work-phase loss is the elapsed work" 4.0 (sum_metric "sim.lost_work");
+  close "recovery loss is time, not work" 4.9 (sum_metric "sim.lost_time")
+
+let test_lost_accounting_chain () =
+  let tasks =
+    Array.init 2 (fun i ->
+        Task.make ~id:i ~work:10.0 ~checkpoint_cost:2.0 ~recovery_cost:1.0 ())
+  in
+  (* Always-checkpoint policy; failure at 11 inside task 0's checkpoint:
+     lost work = accumulated work (10), lost time = 10 + elapsed
+     checkpoint (1) = 11. Timeline: down 11 -> 12, initial recovery
+     0.5 -> 12.5, task0 + C 12.5 -> 24.5, task1 + C 24.5 -> 36.5. *)
+  Metrics.reset ();
+  let stream = Failure_stream.of_times [| 11.0 |] in
+  let stats =
+    Sim_run.run_chain_policy_stats ~initial_recovery:0.5 ~downtime:1.0
+      ~decide:(fun _ -> true)
+      ~next_failure:(Failure_stream.next_after stream)
+      tasks
+  in
+  close "chain makespan" 36.5 stats.Sim_run.makespan;
+  Alcotest.(check int) "one failure" 1 stats.Sim_run.failures;
+  close "chain checkpoint failure loses work only" 10.0 (sum_metric "sim.lost_work");
+  close "chain lost time includes checkpoint elapsed" 11.0 (sum_metric "sim.lost_time")
+
+let test_degenerate_segments_terminate () =
+  (* Zero-length phases make no failure queries at all, so degenerate
+     segments terminate under every stream type — even one failing
+     "now" forever from a replay trace's perspective. *)
+  let degenerate =
+    [ seg ~work:0.0 ~checkpoint:0.0 ~recovery:0.0;
+      seg ~work:0.0 ~checkpoint:1.0 ~recovery:0.5;
+      seg ~work:10.0 ~checkpoint:0.0 ~recovery:2.0;
+      seg ~work:0.0 ~checkpoint:0.0 ~recovery:0.0 ]
+  in
+  let streams =
+    [
+      ("replay", Failure_stream.of_times [| 0.5; 0.6; 0.7 |]);
+      ("poisson", Failure_stream.poisson ~rate:0.5 (Rng.create ~seed:3L));
+      ( "renewal",
+        Failure_stream.renewal
+          ~law:(Ckpt_dist.Law.weibull ~shape:0.7 ~scale:5.0)
+          ~processors:4 (Rng.create ~seed:5L) );
+    ]
+  in
+  List.iter
+    (fun (name, stream) ->
+      let stats =
+        Sim_run.run_segments_stats ~max_failures:100_000 ~downtime:0.1
+          ~next_failure:(Failure_stream.next_after stream)
+          degenerate
+      in
+      Alcotest.(check bool)
+        (name ^ ": degenerate segments terminate")
+        true
+        (stats.Sim_run.makespan >= 11.0))
+    streams
+
+let test_on_phase_hook_order () =
+  (* The hook must fire once per phase about to execute, before its
+     failure query, in chronological order. Scripted run: w=10 c=5 r=1
+     D=1, failure at 12 (inside the checkpoint). *)
+  let hooks = ref [] in
+  let on_phase ph t = hooks := (ph, t) :: !hooks in
+  let stream = Failure_stream.of_times [| 12.0 |] in
+  ignore
+    (Sim_run.run_segments_emitting ~emit:(fun _ -> ()) ~on_phase ~downtime:1.0
+       ~next_failure:(Failure_stream.next_after stream)
+       [ seg ~work:10.0 ~checkpoint:5.0 ~recovery:1.0 ]);
+  let expected =
+    [
+      (Sim_run.Work_phase, 0.0); (Sim_run.Checkpoint_phase, 10.0);
+      (Sim_run.Downtime_phase, 12.0); (Sim_run.Recovery_phase, 13.0);
+      (Sim_run.Work_phase, 14.0); (Sim_run.Checkpoint_phase, 24.0);
+    ]
+  in
+  Alcotest.(check int) "hook count" (List.length expected) (List.length !hooks);
+  List.iter2
+    (fun (ep, et) (ap, at) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "phase at %g" et)
+        true
+        (ep = ap && Float.equal et at))
+    expected (List.rev !hooks)
+
+let test_chain_emits_events () =
+  (* The chain executor's event log, scripted: 2 tasks (w=10 C=2 R=1),
+     always checkpoint, initial recovery 0.5, D=1, failure at 11 inside
+     task 0's checkpoint. Downtime/recovery carry the resume index 0. *)
+  let tasks =
+    Array.init 2 (fun i ->
+        Task.make ~id:i ~work:10.0 ~checkpoint_cost:2.0 ~recovery_cost:1.0 ())
+  in
+  let events = ref [] in
+  let stream = Failure_stream.of_times [| 11.0 |] in
+  let stats =
+    Sim_run.run_chain_policy_stats
+      ~emit:(fun e -> events := e :: !events)
+      ~initial_recovery:0.5 ~downtime:1.0
+      ~decide:(fun _ -> true)
+      ~next_failure:(Failure_stream.next_after stream)
+      tasks
+  in
+  let expected =
+    [
+      { Sim_run.phase = Sim_run.Work_phase; segment = 0; start = 0.0; finish = 10.0;
+        interrupted = false };
+      { Sim_run.phase = Sim_run.Checkpoint_phase; segment = 0; start = 10.0;
+        finish = 11.0; interrupted = true };
+      { Sim_run.phase = Sim_run.Downtime_phase; segment = 0; start = 11.0; finish = 12.0;
+        interrupted = false };
+      { Sim_run.phase = Sim_run.Recovery_phase; segment = 0; start = 12.0; finish = 12.5;
+        interrupted = false };
+      { Sim_run.phase = Sim_run.Work_phase; segment = 0; start = 12.5; finish = 22.5;
+        interrupted = false };
+      { Sim_run.phase = Sim_run.Checkpoint_phase; segment = 0; start = 22.5;
+        finish = 24.5; interrupted = false };
+      { Sim_run.phase = Sim_run.Work_phase; segment = 1; start = 24.5; finish = 34.5;
+        interrupted = false };
+      { Sim_run.phase = Sim_run.Checkpoint_phase; segment = 1; start = 34.5;
+        finish = 36.5; interrupted = false };
+    ]
+  in
+  Alcotest.(check bool) "chain event log matches" true (List.rev !events = expected);
+  close "stats makespan consistent" 36.5 stats.Sim_run.makespan;
+  (* The stats wrapper and the plain makespan agree. *)
+  let stream = Failure_stream.of_times [| 11.0 |] in
+  close "run_chain_policy = stats.makespan" stats.Sim_run.makespan
+    (Sim_run.run_chain_policy ~initial_recovery:0.5 ~downtime:1.0
+       ~decide:(fun _ -> true)
+       ~next_failure:(Failure_stream.next_after stream)
+       tasks)
+
+let test_nan_failure_time_rejected () =
+  Alcotest.check_raises "NaN from the failure source is fatal"
+    (Invalid_argument "Sim_run: next_failure returned NaN") (fun () ->
+      ignore
+        (Sim_run.run_segments ~downtime:0.5
+           ~next_failure:(fun _ -> Float.nan)
+           [ seg ~work:1.0 ~checkpoint:0.1 ~recovery:0.1 ]))
+
 let suite =
   [
     Alcotest.test_case "failure-free run" `Quick test_no_failure;
+    Alcotest.test_case "lost-work/lost-time split (segments)" `Quick
+      test_lost_accounting_segments;
+    Alcotest.test_case "lost-work/lost-time split (chain)" `Quick
+      test_lost_accounting_chain;
+    Alcotest.test_case "degenerate segments terminate" `Quick
+      test_degenerate_segments_terminate;
+    Alcotest.test_case "on_phase hook order" `Quick test_on_phase_hook_order;
+    Alcotest.test_case "chain executor event log" `Quick test_chain_emits_events;
+    Alcotest.test_case "NaN failure time rejected" `Quick test_nan_failure_time_rejected;
     Alcotest.test_case "livelock guard" `Quick test_livelock_guard;
     Alcotest.test_case "distribution collection" `Quick test_collect_distribution;
     Alcotest.test_case "failure during work" `Quick test_failure_during_work;
