@@ -19,8 +19,10 @@
    Quick CI:  BENCH_QUICK=1 dune exec bench/main.exe
    Smoke:     dune exec bench/main.exe -- --smoke   (scaling section only,
               reduced runs; exercises the domain pool on small CI runners)
-   Both also take --metrics table|json (observability snapshot on exit;
-   json embeds it in a single object) and --trace FILE (Chrome
+   Both also take --metrics table|json|openmetrics (observability
+   snapshot on exit; json embeds it in a single object, openmetrics is
+   the Prometheus text exposition), --metrics-out FILE (write the
+   snapshot there instead of stdout) and --trace FILE (Chrome
    trace_event; see docs/OBSERVABILITY.md). *)
 
 module Cases = Ckpt_bench.Cases
@@ -115,10 +117,13 @@ let () =
     | None -> None
     | Some "table" -> Some `Table
     | Some "json" -> Some `Json
+    | Some "openmetrics" -> Some `OpenMetrics
     | Some other ->
-        Printf.eprintf "unknown --metrics format %S (use table or json)\n" other;
+        Printf.eprintf "unknown --metrics format %S (use table, json or openmetrics)\n"
+          other;
         exit 2
   in
+  let metrics_out = arg_value "--metrics-out" in
   Option.iter Ckpt_obs.Sink.install_trace (arg_value "--trace");
   if not smoke then begin
     print_endline "================================================================";
@@ -145,16 +150,26 @@ let () =
   let identical = run_scaling ~quick in
   (match metrics_fmt with
   | None -> ()
-  | Some `Table ->
-      print_newline ();
-      print_string (Ckpt_obs.Metrics.render_table (Ckpt_obs.Metrics.snapshot ()))
-  | Some `Json ->
-      (* One line, with the snapshot embedded next to the bench config so
-         a consumer reads a single JSON object (ckpt-bench check makes
-         the typed assertions in CI; see docs/BENCHMARKS.md). *)
-      Printf.printf "{\"bench\":{\"smoke\":%b,\"quick\":%b,\"scaling_runs\":%d},%s}\n"
-        smoke quick
-        (if quick then 10_000 else 100_000)
-        (Ckpt_obs.Metrics.to_json_fields (Ckpt_obs.Metrics.snapshot ())));
+  | Some fmt ->
+      let snapshot = Ckpt_obs.Metrics.snapshot () in
+      let body =
+        match fmt with
+        | `Table -> Ckpt_obs.Metrics.render_table snapshot
+        | `OpenMetrics -> Ckpt_obs.Openmetrics.render snapshot
+        | `Json ->
+            (* One line, with the snapshot embedded next to the bench
+               config so a consumer reads a single JSON object
+               (ckpt-bench check makes the typed assertions in CI; see
+               docs/BENCHMARKS.md). *)
+            Printf.sprintf "{\"bench\":{\"smoke\":%b,\"quick\":%b,\"scaling_runs\":%d},%s}\n"
+              smoke quick
+              (if quick then 10_000 else 100_000)
+              (Ckpt_obs.Metrics.to_json_fields snapshot)
+      in
+      match metrics_out with
+      | Some path -> Ckpt_obs.Sink.write_file path body
+      | None ->
+          if fmt = `Table then print_newline ();
+          print_string body);
   Ckpt_obs.Sink.flush ();
   if not identical then exit 1

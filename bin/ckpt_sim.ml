@@ -12,6 +12,7 @@ module Expected_time = Ckpt_core.Expected_time
 module Obs_cli = Ckpt_obs_cli.Obs_cli
 module Scenario = Ckpt_scenarios.Scenario
 module Monitor = Ckpt_scenarios.Monitor
+module Coverage = Ckpt_scenarios.Coverage
 
 let parse_law spec =
   match Ckpt_dist.Law_spec.parse spec with
@@ -29,7 +30,28 @@ let list_scenarios () =
    equality is the reproducibility contract, checked on every
    invocation, not just in the test suite. Exit 1 on any monitor
    violation or digest mismatch. *)
-let run_scenarios name seed obs_flush =
+(* Coverage-guided sweep: after the digest-checked pass defined the
+   cov.* universe (combinators register their branch counters at
+   construction), keep re-running the targets at consecutive seeds
+   until every branch has fired or the budget runs out. *)
+let run_coverage targets ~seed ~budget =
+  let o = Coverage.sweep ~budget ~scenarios:targets ~seed () in
+  print_newline ();
+  List.iter
+    (fun (name, hits) ->
+      Printf.printf "  %-40s %s\n" name
+        (if hits = 0 then "UNCOVERED" else Printf.sprintf "%d" hits))
+    o.Coverage.covered;
+  let total = List.length o.Coverage.covered in
+  let hit = total - List.length o.Coverage.uncovered in
+  Printf.printf "coverage: %d/%d branches (%d seed%s from %Ld)%s\n" hit total
+    o.Coverage.seeds_used
+    (if o.Coverage.seeds_used = 1 then "" else "s")
+    seed
+    (if Coverage.complete o then "" else " — INCOMPLETE");
+  Coverage.complete o
+
+let run_scenarios name seed coverage seed_budget obs_flush =
   let targets =
     if String.equal name "all" then Scenario.all
     else
@@ -63,15 +85,16 @@ let run_scenarios name seed obs_flush =
           end)
         o.verdicts)
     targets;
+  if coverage && not (run_coverage targets ~seed ~budget:seed_budget) then failed := true;
   obs_flush ();
   if !failed then exit 1
 
 let run work checkpoint recovery downtime law_spec processors runs seed timeline domains
-    target_ci scenario scenario_list obs_flush =
+    target_ci scenario scenario_list coverage seed_budget obs_flush =
   if scenario_list then list_scenarios ()
   else
     match scenario with
-    | Some name -> run_scenarios name seed obs_flush
+    | Some name -> run_scenarios name seed coverage seed_budget obs_flush
     | None ->
         let law = parse_law law_spec in
         let platform = Platform.make ~downtime ~processors ~proc_law:law () in
@@ -159,12 +182,26 @@ let scenario_list =
        & info [ "list-scenarios" ]
            ~doc:"List the registered fault scenarios and exit.")
 
+let coverage =
+  let doc =
+    "With --scenario: after the digest-checked pass, sweep consecutive seeds until every \
+     registered fault-injection branch and monitor outcome (the cov.* counters) has \
+     fired, then print the per-branch hit counts. Exits non-zero if the --seed-budget \
+     runs out first."
+  in
+  Arg.(value & flag & info [ "coverage" ] ~doc)
+
+let seed_budget =
+  let doc = "Maximum consecutive seeds the --coverage sweep may consume." in
+  Arg.(value & opt int Ckpt_scenarios.Coverage.default_budget
+       & info [ "seed-budget" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "Monte-Carlo estimate of the expected checkpointed execution time" in
   let info = Cmd.info "ckpt-sim" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(const run $ work $ checkpoint $ recovery $ downtime $ law_spec $ processors
           $ runs $ seed $ timeline $ domains $ target_ci $ scenario $ scenario_list
-          $ Obs_cli.term)
+          $ coverage $ seed_budget $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

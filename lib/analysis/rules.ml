@@ -407,7 +407,50 @@ let span_scope_safety : Rule.t =
   }
 
 (* ------------------------------------------------------------------ *)
-(* 6. banned-in-lib                                                    *)
+(* 6. no-direct-gc-stat                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gc_stat_fns =
+  [ "Gc.stat"; "Gc.quick_stat"; "Stdlib.Gc.stat"; "Stdlib.Gc.quick_stat" ]
+
+let no_direct_gc_stat : Rule.t =
+  {
+    name = "no-direct-gc-stat";
+    doc =
+      "Gc.stat/Gc.quick_stat in lib/ outside lib/obs/gc_telemetry.ml: GC \
+       readings must flow through the delta-sampling Ckpt_obs.Gc_telemetry \
+       so they land in the metrics registry (and Gc.stat forces a full \
+       major heap walk)";
+    default_severity = Diagnostic.Error;
+    check =
+      (fun ctx str ->
+        if
+          (not (Rule.in_dir "lib" ctx.Rule.path))
+          || ctx.Rule.path = "lib/obs/gc_telemetry.ml"
+        then ()
+        else
+          let visit =
+            object
+              inherit Ast_traverse.iter as super
+
+              method! expression e =
+                (match e.pexp_desc with
+                | Pexp_ident { txt; _ } when List.mem (name_of txt) gc_stat_fns ->
+                    ctx.Rule.emit ~loc:e.pexp_loc
+                      (Printf.sprintf
+                         "%s reads GC counters directly; sample a \
+                          Ckpt_obs.Gc_telemetry.probe instead so the deltas \
+                          reach the gc.* metrics"
+                         (name_of txt))
+                | _ -> ());
+                super#expression e
+            end
+          in
+          visit#structure str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 7. banned-in-lib                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let banned_in_lib_fns =
@@ -469,6 +512,7 @@ let all : Rule.t list =
     no_global_random;
     unguarded_global_mutable;
     span_scope_safety;
+    no_direct_gc_stat;
     banned_in_lib;
   ]
 

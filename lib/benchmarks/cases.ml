@@ -196,6 +196,25 @@ let all ~quick =
             (Ckpt_scenarios.Scenario.run_all ~seed:20_260_807L));
     ]
   in
+  (* Coverage-guided seed sweep over the whole registry: times how long
+     reaching 100% fault-injection branch coverage takes, and fails the
+     bench if the budget ever stops sufficing (a combinator branch that
+     became unreachable, or a scenario change that starved one). The
+     cov.* counters it drives end up in the bench JSON snapshot, where
+     `ckpt-bench check` pins at least one as a required metric. *)
+  let scenario_coverage =
+    [
+      macro ~repeats:3 "scenario-coverage" [ "sim"; "scenarios" ] (fun () ->
+          let o =
+            Ckpt_scenarios.Coverage.sweep ~budget:16
+              ~scenarios:Ckpt_scenarios.Scenario.all ~seed:42L ()
+          in
+          if not (Ckpt_scenarios.Coverage.complete o) then
+            failwith
+              ("scenario-coverage: uncovered branches: "
+              ^ String.concat ", " o.Ckpt_scenarios.Coverage.uncovered));
+    ]
+  in
   let mc_pool =
     List.map
       (fun domains ->
@@ -206,4 +225,4 @@ let all ~quick =
       [ 1; 2; 4; 8 ]
   in
   kernels @ dp_scaling @ dp_dc_scaling @ dp_other @ dist @ sim_throughput
-  @ scenario_smoke @ mc_pool
+  @ scenario_smoke @ scenario_coverage @ mc_pool

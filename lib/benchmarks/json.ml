@@ -1,292 +1,5 @@
-type t =
-  | Null
-  | Bool of bool
-  | Number of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
+(* The bench subsystem's JSON module is the shared strict parser from
+   lib/json, re-exported under its historical name so the schema,
+   comparator and tests keep reading [Json.t]. *)
 
-exception Parse_error of string
-
-(* --- parsing -------------------------------------------------------- *)
-
-type state = { src : string; mutable pos : int }
-
-let err st msg =
-  (* Derive line/column from the offset so messages stay useful on the
-     single-line JSON the bench writes as well as on pretty files. *)
-  let line = ref 1 and col = ref 1 in
-  for i = 0 to Stdlib.min st.pos (String.length st.src) - 1 do
-    if st.src.[i] = '\n' then begin
-      incr line;
-      col := 1
-    end
-    else incr col
-  done;
-  raise (Parse_error (Printf.sprintf "line %d, column %d: %s" !line !col msg))
-
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
-
-let advance st = st.pos <- st.pos + 1
-
-let skip_ws st =
-  while
-    st.pos < String.length st.src
-    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-  do
-    advance st
-  done
-
-let expect st c =
-  match peek st with
-  | Some d when d = c -> advance st
-  | Some d -> err st (Printf.sprintf "expected %C, got %C" c d)
-  | None -> err st (Printf.sprintf "expected %C, got end of input" c)
-
-let literal st word value =
-  let n = String.length word in
-  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
-    st.pos <- st.pos + n;
-    value
-  end
-  else err st (Printf.sprintf "expected %s" word)
-
-let hex_digit st c =
-  match c with
-  | '0' .. '9' -> Char.code c - Char.code '0'
-  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-  | _ -> err st "bad hex digit in \\u escape"
-
-let parse_unicode_escape st buf =
-  if st.pos + 4 > String.length st.src then err st "truncated \\u escape";
-  let code = ref 0 in
-  for i = 0 to 3 do
-    code := (!code * 16) + hex_digit st st.src.[st.pos + i]
-  done;
-  st.pos <- st.pos + 4;
-  let cp = !code in
-  if cp >= 0xD800 && cp <= 0xDFFF then err st "surrogate \\u escapes are not supported";
-  (* UTF-8 encode the BMP code point. *)
-  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
-  else if cp < 0x800 then begin
-    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
-    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-  end
-  else begin
-    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
-    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
-    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-  end
-
-let parse_string_body st =
-  expect st '"';
-  let buf = Buffer.create 16 in
-  let rec go () =
-    match peek st with
-    | None -> err st "unterminated string"
-    | Some '"' -> advance st
-    | Some '\\' -> (
-        advance st;
-        (match peek st with
-        | None -> err st "unterminated escape"
-        | Some c -> (
-            advance st;
-            match c with
-            | '"' -> Buffer.add_char buf '"'
-            | '\\' -> Buffer.add_char buf '\\'
-            | '/' -> Buffer.add_char buf '/'
-            | 'b' -> Buffer.add_char buf '\b'
-            | 'f' -> Buffer.add_char buf '\012'
-            | 'n' -> Buffer.add_char buf '\n'
-            | 'r' -> Buffer.add_char buf '\r'
-            | 't' -> Buffer.add_char buf '\t'
-            | 'u' -> parse_unicode_escape st buf
-            | c -> err st (Printf.sprintf "bad escape \\%c" c)));
-        go ())
-    | Some c when Char.code c < 0x20 -> err st "raw control character in string"
-    | Some c ->
-        advance st;
-        Buffer.add_char buf c;
-        go ()
-  in
-  go ();
-  Buffer.contents buf
-
-let parse_number st =
-  let start = st.pos in
-  let consume_digits () =
-    let some = ref false in
-    while (match peek st with Some ('0' .. '9') -> true | _ -> false) do
-      advance st;
-      some := true
-    done;
-    !some
-  in
-  if peek st = Some '-' then advance st;
-  if not (consume_digits ()) then err st "malformed number";
-  if peek st = Some '.' then begin
-    advance st;
-    if not (consume_digits ()) then err st "malformed number (digits after '.')"
-  end;
-  (match peek st with
-  | Some ('e' | 'E') ->
-      advance st;
-      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
-      if not (consume_digits ()) then err st "malformed number (exponent digits)"
-  | _ -> ());
-  let text = String.sub st.src start (st.pos - start) in
-  match float_of_string_opt text with
-  | Some x when Float.is_finite x -> Number x
-  | _ -> err st (Printf.sprintf "malformed number %S" text)
-
-let rec parse_value st =
-  skip_ws st;
-  match peek st with
-  | None -> err st "unexpected end of input"
-  | Some '{' ->
-      advance st;
-      skip_ws st;
-      if peek st = Some '}' then begin
-        advance st;
-        Obj []
-      end
-      else begin
-        let fields = ref [] in
-        let seen =
-          Hashtbl.create 8
-            [@@lint.domain_safe
-              "parse-local duplicate-key check; never escapes parse_value"]
-        in
-        let rec members () =
-          skip_ws st;
-          let key = parse_string_body st in
-          if Hashtbl.mem seen key then
-            err st (Printf.sprintf "duplicate object key %S" key);
-          Hashtbl.add seen key ();
-          skip_ws st;
-          expect st ':';
-          let v = parse_value st in
-          fields := (key, v) :: !fields;
-          skip_ws st;
-          match peek st with
-          | Some ',' ->
-              advance st;
-              members ()
-          | Some '}' -> advance st
-          | _ -> err st "expected ',' or '}' in object"
-        in
-        members ();
-        Obj (List.rev !fields)
-      end
-  | Some '[' ->
-      advance st;
-      skip_ws st;
-      if peek st = Some ']' then begin
-        advance st;
-        List []
-      end
-      else begin
-        let items = ref [] in
-        let rec elements () =
-          let v = parse_value st in
-          items := v :: !items;
-          skip_ws st;
-          match peek st with
-          | Some ',' ->
-              advance st;
-              elements ()
-          | Some ']' -> advance st
-          | _ -> err st "expected ',' or ']' in array"
-        in
-        elements ();
-        List (List.rev !items)
-      end
-  | Some '"' -> String (parse_string_body st)
-  | Some 't' -> literal st "true" (Bool true)
-  | Some 'f' -> literal st "false" (Bool false)
-  | Some 'n' -> literal st "null" Null
-  | Some ('-' | '0' .. '9') -> parse_number st
-  | Some c -> err st (Printf.sprintf "unexpected character %C" c)
-
-let parse s =
-  let st = { src = s; pos = 0 } in
-  let v = parse_value st in
-  skip_ws st;
-  if st.pos <> String.length s then err st "trailing content after JSON value";
-  v
-
-let parse_result s = try Ok (parse s) with Parse_error msg -> Error msg
-
-(* --- printing ------------------------------------------------------- *)
-
-let escape = Ckpt_obs.Metrics.json_escape
-
-(* Shortest representation that parses back to the same float: try the
-   12-digit form first so common values stay readable. *)
-let number_to_string x =
-  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
-  else
-    let short = Printf.sprintf "%.12g" x in
-    if Float.equal (float_of_string short) x then short else Printf.sprintf "%.17g" x
-
-let rec write buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Number x ->
-      Buffer.add_string buf (if Float.is_finite x then number_to_string x else "null")
-  | String s ->
-      Buffer.add_char buf '"';
-      Buffer.add_string buf (escape s);
-      Buffer.add_char buf '"'
-  | List items ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i v ->
-          if i > 0 then Buffer.add_char buf ',';
-          write buf v)
-        items;
-      Buffer.add_char buf ']'
-  | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          Buffer.add_char buf '"';
-          Buffer.add_string buf (escape k);
-          Buffer.add_string buf "\":";
-          write buf v)
-        fields;
-      Buffer.add_char buf '}'
-
-let to_string v =
-  let buf = Buffer.create 256 in
-  write buf v;
-  Buffer.contents buf
-
-let rec equal a b =
-  match (a, b) with
-  | Null, Null -> true
-  | Bool x, Bool y -> Bool.equal x y
-  | Number x, Number y -> Float.equal x y
-  | String x, String y -> String.equal x y
-  | List xs, List ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
-  | Obj xs, Obj ys ->
-      List.length xs = List.length ys
-      && List.for_all2
-           (fun (kx, vx) (ky, vy) -> String.equal kx ky && equal vx vy)
-           xs ys
-  | _ -> false
-
-(* --- accessors ------------------------------------------------------ *)
-
-let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
-let to_float = function Number x -> Some x | _ -> None
-
-let to_int = function
-  | Number x when Float.is_integer x && Float.abs x <= 1e15 -> Some (int_of_float x)
-  | _ -> None
-
-let to_str = function String s -> Some s | _ -> None
-let to_list = function List l -> Some l | _ -> None
-let to_obj = function Obj l -> Some l | _ -> None
+include Ckpt_json.Json

@@ -1,16 +1,18 @@
-(** Minimal JSON reader/writer for the benchmark-results schema.
+(** Minimal JSON reader/writer shared by the bench subsystem and the
+    observability analysis tools.
 
     The repo deliberately carries no JSON dependency; this is a small,
     strict recursive-descent parser covering everything the bench
-    subsystem writes (and the {!Ckpt_obs.Metrics} JSON it embeds):
-    objects, arrays, strings with the standard escapes (including
-    [\uXXXX] for BMP code points; surrogate pairs are rejected),
-    numbers, booleans and [null].
+    subsystem writes (and the {!Ckpt_obs.Metrics} JSON it embeds) plus
+    the span JSONL streams: objects, arrays, strings with the standard
+    escapes (including [\uXXXX] for BMP code points; surrogate pairs
+    are rejected), numbers, booleans and [null].
 
-    It exists so CI can make {e typed} assertions about benchmark
-    output — "does the [metrics] object have a field named
-    [mc.runs]" — instead of grepping raw text, where a key name inside
-    any string value is a false positive. *)
+    It exists so CI and the [ckpt-obs] analyzer can make {e typed}
+    assertions about machine-readable output — "does the [metrics]
+    object have a field named [mc.runs]" — instead of grepping raw
+    text, where a key name inside any string value is a false
+    positive. *)
 
 type t =
   | Null
@@ -32,6 +34,9 @@ val to_string : t -> string
 (** Compact (single-line) serialization. Numbers print as integers when
     integral, else with enough digits to round-trip exactly through
     {!parse}. *)
+
+val escape : string -> string
+(** JSON string-content escaping (the characters between the quotes). *)
 
 val equal : t -> t -> bool
 (** Structural equality; numbers via [Float.equal], object fields

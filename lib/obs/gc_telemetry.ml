@@ -1,0 +1,43 @@
+(* GC and allocation telemetry: per-domain Gc.quick_stat deltas folded
+   into Timing-kind metrics.
+
+   This module is the only place in lib/ allowed to read Gc.stat /
+   Gc.quick_stat directly (enforced by the `no-direct-gc-stat` lint
+   rule): every other module takes a probe at a boundary it owns — the
+   parallel pool samples at batch boundaries — so allocation pressure
+   is attributed to the work that caused it, per domain.
+
+   All gc.* metrics are Timing kind on purpose: allocation counts vary
+   with domain layout, inlining and stdlib version, so they must never
+   enter the Engine section whose bit-identical-across-domain-counts
+   guarantee the pool tests pin. *)
+
+let s_minor_words = Metrics.sum ~kind:Timing "gc.minor_words"
+let s_major_words = Metrics.sum ~kind:Timing "gc.major_words"
+let s_promoted_words = Metrics.sum ~kind:Timing "gc.promoted_words"
+let c_minor = Metrics.counter ~kind:Timing "gc.minor_collections"
+let c_major = Metrics.counter ~kind:Timing "gc.major_collections"
+let c_compactions = Metrics.counter ~kind:Timing "gc.compactions"
+let g_heap_words = Metrics.gauge ~kind:Timing "gc.heap_words"
+
+type probe = { mutable last : Gc.stat }
+
+let probe () = { last = Gc.quick_stat () }
+
+(* Deltas are clamped at zero: a quick_stat counter is monotone within
+   a domain, but a probe handed across domains (not the intended use)
+   must degrade to "no delta", never to negative telemetry. *)
+let sample p =
+  let s = Gc.quick_stat () in
+  let prev = p.last in
+  p.last <- s;
+  Metrics.add s_minor_words (Float.max 0.0 (s.Gc.minor_words -. prev.Gc.minor_words));
+  Metrics.add s_major_words (Float.max 0.0 (s.Gc.major_words -. prev.Gc.major_words));
+  Metrics.add s_promoted_words
+    (Float.max 0.0 (s.Gc.promoted_words -. prev.Gc.promoted_words));
+  Metrics.incr ~by:(Stdlib.max 0 (s.Gc.minor_collections - prev.Gc.minor_collections))
+    c_minor;
+  Metrics.incr ~by:(Stdlib.max 0 (s.Gc.major_collections - prev.Gc.major_collections))
+    c_major;
+  Metrics.incr ~by:(Stdlib.max 0 (s.Gc.compactions - prev.Gc.compactions)) c_compactions;
+  Metrics.set g_heap_words (float_of_int s.Gc.heap_words)

@@ -1,0 +1,28 @@
+(** GC and allocation telemetry as [gc.*] Timing metrics.
+
+    A {!probe} snapshots the calling domain's [Gc.quick_stat]; each
+    {!sample} folds the delta since the previous sample into the
+    metrics registry and re-arms the probe. The parallel Monte-Carlo
+    pool samples one probe per worker domain at every batch boundary,
+    so [BENCH_<n>.json] artifacts carry allocation pressure next to the
+    wall-clock timings.
+
+    Metrics (all Timing kind — they never perturb the Engine section's
+    bit-identical guarantee): [gc.minor_words], [gc.major_words],
+    [gc.promoted_words] (float word counts), [gc.minor_collections],
+    [gc.major_collections], [gc.compactions] (counters), and
+    [gc.heap_words] (gauge, last observed major-heap size).
+
+    This module is the only lib/ module allowed to call [Gc.stat] /
+    [Gc.quick_stat] directly — the [no-direct-gc-stat] lint rule
+    routes everything else through here. *)
+
+type probe
+
+val probe : unit -> probe
+(** Arm a probe on the calling domain (no metric emission). *)
+
+val sample : probe -> unit
+(** Emit the deltas since the probe was armed or last sampled, then
+    re-arm. Intended to be called from the same domain that armed the
+    probe; deltas are clamped at zero. *)

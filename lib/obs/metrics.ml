@@ -319,7 +319,11 @@ let hit_rates rows =
           List.find_map
             (fun (name', _, value') ->
               match value' with
-              | Counter misses when name' = base ^ "_misses" ->
+              | Counter misses when String.equal name' (base ^ "_misses") ->
+                  (* Guard the 0/0 case explicitly: registered but never
+                     consulted caches (e.g. merged from shards that only
+                     registered the pair) must derive an unset gauge,
+                     never 0/0 = NaN. *)
                   let rate =
                     if hits + misses = 0 then None
                     else Some (float_of_int hits /. float_of_int (hits + misses))

@@ -125,6 +125,13 @@ val find : snapshot -> string -> (kind * value) option
     grepping a rendered report (used by the bench subsystem's
     required-keys validation and the test suites). *)
 
+val hit_rates : snapshot -> snapshot
+(** The derived rows only: every counter pair [<base>_hits] /
+    [<base>_misses] yields a [<base>_hit_rate] gauge —
+    [hits / (hits + misses)], or an unset gauge ([Gauge None]) when
+    both counters are zero (caches never consulted), so a 0/0 pair
+    renders as [n/a] instead of a division artifact. *)
+
 val render_table : snapshot -> string
 (** Two plain-text tables: deterministic engine metrics, then timings.
     Counter pairs named [<base>_hits]/[<base>_misses] get a derived

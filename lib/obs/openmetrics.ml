@@ -1,0 +1,82 @@
+(* Prometheus/OpenMetrics text exposition of a Metrics snapshot.
+
+   Mapping:
+   - counters      -> counter families, one `<name>_total` sample;
+   - sums / gauges -> gauge families (sums can in principle absorb
+     negative contributions, so they are not declared monotone);
+   - histograms    -> histogram families with *cumulative* `le` buckets
+     (the registry stores per-bucket counts), a `+Inf` bucket equal to
+     the observation count, and `_sum`/`_count` samples;
+   - derived `<base>_hit_rate` rows are included like in the other
+     renderings; an unset gauge emits its `# TYPE` line but no sample
+     (legal: a family may carry zero samples).
+
+   Metric names are sanitized to the OpenMetrics charset — every
+   character outside [A-Za-z0-9_:] becomes '_' (`mc.runs` ->
+   `ckpt_mc_runs`) — and prefixed with `ckpt_`. Registry names are
+   unique across both kinds, so sanitized names cannot collide unless
+   two registered names differ only in punctuation; the exposition is
+   for scrape pipelines, the deterministic-diff surface stays the JSON
+   snapshot. The output ends with the mandatory `# EOF` terminator. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+let metric_name name = "ckpt_" ^ sanitize name
+
+(* Sample values: OpenMetrics floats. Integral values print without a
+   fraction; everything else with enough digits to round-trip. *)
+let float_str x =
+  if Float.is_nan x then "NaN"
+  else if Float.equal x Float.infinity then "+Inf"
+  else if Float.equal x Float.neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else
+    let short = Printf.sprintf "%.12g" x in
+    if Float.equal (float_of_string short) x then short else Printf.sprintf "%.17g" x
+
+let bound_str b = float_str b
+
+let add_family buf name typ samples =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ);
+  List.iter (fun line -> Buffer.add_string buf line) samples
+
+let render_metric buf (raw_name, _kind, value) =
+  let name = metric_name raw_name in
+  match (value : Metrics.value) with
+  | Metrics.Counter n ->
+      add_family buf name "counter" [ Printf.sprintf "%s_total %d\n" name n ]
+  | Metrics.Sum x -> add_family buf name "gauge" [ Printf.sprintf "%s %s\n" name (float_str x) ]
+  | Metrics.Gauge None -> add_family buf name "gauge" []
+  | Metrics.Gauge (Some x) ->
+      add_family buf name "gauge" [ Printf.sprintf "%s %s\n" name (float_str x) ]
+  | Metrics.Histogram h ->
+      let cumulative = ref 0 in
+      let buckets =
+        List.init (Array.length h.Metrics.bounds) (fun i ->
+            cumulative := !cumulative + h.Metrics.counts.(i);
+            Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+              (bound_str h.Metrics.bounds.(i))
+              !cumulative)
+      in
+      add_family buf name "histogram"
+        (buckets
+        @ [
+            Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.Metrics.observations;
+            Printf.sprintf "%s_sum %s\n" name (float_str h.Metrics.total);
+            Printf.sprintf "%s_count %d\n" name h.Metrics.observations;
+          ])
+
+let render snapshot =
+  let rows =
+    List.sort
+      (fun (a, _, _) (b, _, _) -> String.compare a b)
+      (Metrics.hit_rates snapshot @ snapshot)
+  in
+  let buf = Buffer.create 4096 in
+  List.iter (render_metric buf) rows;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

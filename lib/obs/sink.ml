@@ -1,31 +1,54 @@
+type sink = { name : string; run : unit -> unit; mutable flushed : bool }
+
 let lock = Mutex.create ()
 
-let sinks : (string * (unit -> unit)) list ref =
+let sinks : sink list ref =
   ref [] [@@lint.domain_safe "mutex-held: registered and snapshotted under [lock]"]
 
 let register ~name f =
   Mutex.protect lock (fun () ->
-      sinks := List.filter (fun (n, _) -> n <> name) !sinks @ [ (name, f) ])
+      sinks :=
+        List.filter (fun s -> s.name <> name) !sinks
+        @ [ { name; run = f; flushed = false } ])
 
+(* Flush is idempotent: each registered sink runs at most once per
+   registration. The pending set is claimed under the lock, but the
+   sinks themselves run outside it — a sink is free to re-register. *)
 let flush () =
-  let fs = Mutex.protect lock (fun () -> !sinks) in
-  List.iter (fun (_, f) -> f ()) fs
+  let pending =
+    Mutex.protect lock (fun () ->
+        let ready = List.filter (fun s -> not s.flushed) !sinks in
+        List.iter (fun s -> s.flushed <- true) ready;
+        ready)
+  in
+  List.iter (fun s -> s.run ()) pending
 
-type metrics_format = Table | Json
+type metrics_format = Table | Json | OpenMetrics
 
-let print_metrics fmt () =
+let render_metrics fmt =
   let snapshot = Metrics.snapshot () in
   match fmt with
-  | Json -> print_endline (Metrics.to_json snapshot)
+  | Json -> Metrics.to_json snapshot ^ "\n"
+  | OpenMetrics -> Openmetrics.render snapshot
   | Table ->
-      print_string (Metrics.render_table snapshot);
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf (Metrics.render_table snapshot);
       let spans = if Span.enabled () then Span.records () else [] in
       if spans <> [] then begin
-        print_newline ();
-        print_string (Span.summary_table spans)
-      end
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (Span.summary_table spans)
+      end;
+      Buffer.contents buf
 
-let install_metrics fmt = register ~name:"metrics" (print_metrics fmt)
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let print_metrics ?path fmt () =
+  let contents = render_metrics fmt in
+  match path with None -> print_string contents | Some path -> write_file path contents
+
+let install_metrics ?path fmt = register ~name:"metrics" (print_metrics ?path fmt)
 
 let write_trace path () =
   let records = Span.records () in
@@ -33,8 +56,7 @@ let write_trace path () =
     if Filename.check_suffix path ".jsonl" then Span.to_jsonl records
     else Span.to_chrome records
   in
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+  write_file path contents
 
 let install_trace path =
   Span.set_enabled true;

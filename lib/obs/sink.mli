@@ -2,19 +2,31 @@
 
     A sink is a thunk that renders some observability state (metrics
     snapshot, span trace) to its destination. Registration replaces any
-    sink of the same name, so re-running a setup is idempotent. *)
+    sink of the same name, so re-running a setup is idempotent — and so
+    is {!flush}: each registered sink runs at most once per
+    registration, so belt-and-suspenders flush calls (normal exit path
+    plus an at_exit handler) cannot double-print. *)
 
 val register : name:string -> (unit -> unit) -> unit
 
 val flush : unit -> unit
-(** Run every registered sink once, in registration order. *)
+(** Run every registered sink that has not been flushed yet, in
+    registration order. A second call is a no-op until a sink is
+    (re-)registered. *)
 
-type metrics_format = Table | Json
+val write_file : string -> string -> unit
+(** [write_file path contents] — truncating write, used by the built-in
+    sinks and by tools emitting one-shot artifacts outside a sink. *)
 
-val install_metrics : metrics_format -> unit
-(** Register a ["metrics"] sink printing the {!Metrics.snapshot} to
-    stdout — the plain-text tables, or the JSON object on one line. The
-    table form also prints the span summary when spans were recorded. *)
+type metrics_format = Table | Json | OpenMetrics
+
+val install_metrics : ?path:string -> metrics_format -> unit
+(** Register a ["metrics"] sink rendering the {!Metrics.snapshot} —
+    the plain-text tables, the JSON object on one line, or the
+    Prometheus/OpenMetrics text exposition ({!Openmetrics.render}). The
+    table form also appends the span summary when spans were recorded.
+    Output goes to stdout, or to [path] when given (so scrape artifacts
+    don't interleave with the tool's report). *)
 
 val install_trace : string -> unit
 (** Enable span recording and register a ["trace"] sink writing the

@@ -1,0 +1,304 @@
+(* The analysis half of the span layer: parse the JSON Lines stream the
+   trace sink emits, rebuild the span forest, and aggregate where the
+   time went.
+
+   The JSONL stream is flat — one record per line, sorted by start
+   time, each carrying the recording domain (tid) and its nesting depth
+   at entry. Reconstruction runs one stack per tid: a record at depth d
+   is a child of the most recent still-open depth d-1 record on the
+   same tid; a span is closed (popped) once its interval ends before
+   the next record starts or a record at the same or shallower depth
+   arrives. Instants become zero-duration leaves.
+
+   Numbers arrive through the shared strict JSON parser, which reads
+   them as floats: nanosecond stamps above 2^53 (about 104 days of
+   monotonic uptime) would lose sub-microsecond precision. Durations
+   and the self-time arithmetic are unaffected at any realistic span
+   length, which is why the report contract is "sums match within
+   float tolerance", not bit equality. *)
+
+module Json = Ckpt_json.Json
+
+type tree = { record : Span.record; children : tree list }
+
+type stat = {
+  name : string;
+  calls : int;
+  total_ns : float;  (** Sum of span durations (children included). *)
+  self_ns : float;  (** Durations minus direct children — the hot-span metric. *)
+  max_ns : float;
+}
+
+type report = {
+  roots : tree list;
+  stats : stat list;  (** Hot ranking: sorted by self time, descending. *)
+  root_wall_ns : float;  (** Sum of root-span durations. *)
+  total_self_ns : float;  (** Sum of self times over every span. *)
+  spans : int;
+  instants : int;
+}
+
+(* --- JSONL parsing -------------------------------------------------- *)
+
+let record_of_json line_no json =
+  let fail field =
+    Error (Printf.sprintf "line %d: missing or mistyped field %S" line_no field)
+  in
+  let str field = Option.bind (Json.member field json) Json.to_str in
+  let num field = Option.bind (Json.member field json) Json.to_float in
+  let int field = Option.bind (Json.member field json) Json.to_int in
+  match (str "name", str "kind", num "start_ns", num "dur_ns", int "tid", int "depth") with
+  | None, _, _, _, _, _ -> fail "name"
+  | _, None, _, _, _, _ -> fail "kind"
+  | _, _, None, _, _, _ -> fail "start_ns"
+  | _, _, _, None, _, _ -> fail "dur_ns"
+  | _, _, _, _, None, _ -> fail "tid"
+  | _, _, _, _, _, None -> fail "depth"
+  | Some name, Some kind, Some start_ns, Some dur_ns, Some tid, Some depth -> (
+      let args =
+        match Option.bind (Json.member "args" json) Json.to_obj with
+        | None -> []
+        | Some fields ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+              fields
+      in
+      match kind with
+      | "span" | "instant" ->
+          Ok
+            {
+              Span.name;
+              span_kind = (if String.equal kind "span" then Span.Complete else Span.Instant);
+              start_ns = Int64.of_float start_ns;
+              dur_ns = Int64.of_float dur_ns;
+              tid;
+              depth;
+              args;
+            }
+      | other -> Error (Printf.sprintf "line %d: unknown span kind %S" line_no other))
+
+let parse_jsonl contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go line_no acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line' = String.trim line in
+        if String.equal line' "" then go (line_no + 1) acc rest
+        else (
+          match Json.parse_result line' with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" line_no msg)
+          | Ok json -> (
+              match record_of_json line_no json with
+              | Error _ as e -> e
+              | Ok r -> go (line_no + 1) (r :: acc) rest))
+  in
+  go 1 [] lines
+
+(* --- forest reconstruction ------------------------------------------ *)
+
+type builder = { brecord : Span.record; mutable rev_children : builder list }
+
+let rec freeze b = { record = b.brecord; children = List.rev_map freeze b.rev_children }
+
+let end_ns (r : Span.record) = Int64.add r.start_ns r.dur_ns
+
+let build records =
+  (* Group by tid preserving order, then reconstruct each domain's
+     track independently; the forest interleaves tracks in first-start
+     order like the exporters do. *)
+  let by_tid = Hashtbl.create 8 [@@lint.domain_safe "build-local grouping table"] in
+  let tids = ref [] in
+  List.iter
+    (fun (r : Span.record) ->
+      match Hashtbl.find_opt by_tid r.tid with
+      | None ->
+          tids := r.tid :: !tids;
+          Hashtbl.replace by_tid r.tid (ref [ r ])
+      | Some l -> l := r :: !l)
+    records;
+  let forest = ref [] in
+  List.iter
+    (fun tid ->
+      let track =
+        List.sort
+          (fun (a : Span.record) (b : Span.record) ->
+            match Int64.compare a.start_ns b.start_ns with
+            | 0 -> Stdlib.compare a.depth b.depth
+            | c -> c)
+          (List.rev !(Hashtbl.find by_tid tid))
+      in
+      let stack = ref [] in
+      let attach node =
+        match !stack with
+        | [] -> forest := node :: !forest
+        | parent :: _ -> parent.rev_children <- node :: parent.rev_children
+      in
+      List.iter
+        (fun (r : Span.record) ->
+          let rec unwind () =
+            match !stack with
+            | top :: rest
+              when top.brecord.depth >= r.depth
+                   || Int64.compare (end_ns top.brecord) r.start_ns < 0 ->
+                stack := rest;
+                unwind ()
+            | _ -> ()
+          in
+          unwind ();
+          let node = { brecord = r; rev_children = [] } in
+          attach node;
+          match r.span_kind with
+          | Span.Complete -> stack := node :: !stack
+          | Span.Instant -> ())
+        track)
+    (List.rev !tids);
+  List.rev_map freeze !forest
+  |> List.sort (fun a b -> Int64.compare a.record.start_ns b.record.start_ns)
+
+(* --- aggregation ---------------------------------------------------- *)
+
+let ns r = Int64.to_float r.Span.dur_ns
+
+let self_ns node =
+  let children_ns =
+    List.fold_left
+      (fun acc c ->
+        match c.record.span_kind with Span.Complete -> acc +. ns c.record | Span.Instant -> acc)
+      0.0 node.children
+  in
+  Float.max 0.0 (ns node.record -. children_ns)
+
+let report forest =
+  let stats = Hashtbl.create 16 [@@lint.domain_safe "report-local aggregation table"] in
+  let order = ref [] in
+  let spans = ref 0 and instants = ref 0 and total_self = ref 0.0 in
+  let rec visit node =
+    (match node.record.span_kind with
+    | Span.Instant -> incr instants
+    | Span.Complete ->
+        incr spans;
+        let self = self_ns node in
+        total_self := !total_self +. self;
+        let name = node.record.name in
+        (match Hashtbl.find_opt stats name with
+        | None ->
+            order := name :: !order;
+            Hashtbl.replace stats name
+              { name; calls = 1; total_ns = ns node.record; self_ns = self; max_ns = ns node.record }
+        | Some s ->
+            Hashtbl.replace stats name
+              {
+                s with
+                calls = s.calls + 1;
+                total_ns = s.total_ns +. ns node.record;
+                self_ns = s.self_ns +. self;
+                max_ns = Float.max s.max_ns (ns node.record);
+              }));
+    List.iter visit node.children
+  in
+  List.iter visit forest;
+  let root_wall =
+    List.fold_left
+      (fun acc node ->
+        match node.record.span_kind with
+        | Span.Complete -> acc +. ns node.record
+        | Span.Instant -> acc)
+      0.0 forest
+  in
+  let stat_list =
+    List.rev_map (fun name -> Hashtbl.find stats name) !order
+    |> List.sort (fun a b ->
+           match Float.compare b.self_ns a.self_ns with
+           | 0 -> String.compare a.name b.name
+           | c -> c)
+  in
+  {
+    roots = forest;
+    stats = stat_list;
+    root_wall_ns = root_wall;
+    total_self_ns = !total_self;
+    spans = !spans;
+    instants = !instants;
+  }
+
+(* --- critical path -------------------------------------------------- *)
+
+let rec critical_path node =
+  let widest =
+    List.fold_left
+      (fun acc c ->
+        match c.record.span_kind with
+        | Span.Instant -> acc
+        | Span.Complete -> (
+            match acc with
+            | Some best when Int64.compare best.record.dur_ns c.record.dur_ns >= 0 -> acc
+            | _ -> Some c))
+      None node.children
+  in
+  match widest with None -> [ node ] | Some c -> node :: critical_path c
+
+let longest_root forest =
+  List.fold_left
+    (fun acc node ->
+      match node.record.span_kind with
+      | Span.Instant -> acc
+      | Span.Complete -> (
+          match acc with
+          | Some best when Int64.compare best.record.dur_ns node.record.dur_ns >= 0 -> acc
+          | _ -> Some node))
+    None forest
+
+(* --- rendering ------------------------------------------------------ *)
+
+let ms x = x /. 1e6
+
+let render_report ?(top = 20) r =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "trace: %d spans, %d instants, %d roots, root wall %.3f ms\n"
+       r.spans r.instants (List.length r.roots) (ms r.root_wall_ns));
+  Buffer.add_string buf
+    (Printf.sprintf "self-time closure: %.3f ms (= root wall within float tolerance)\n\n"
+       (ms r.total_self_ns));
+  let table =
+    Ckpt_stats.Table.create ~title:"hot spans (by self time)"
+      ~columns:
+        [
+          ("span", Ckpt_stats.Table.Left); ("calls", Ckpt_stats.Table.Right);
+          ("total ms", Ckpt_stats.Table.Right); ("self ms", Ckpt_stats.Table.Right);
+          ("self %", Ckpt_stats.Table.Right); ("max ms", Ckpt_stats.Table.Right);
+        ]
+  in
+  let shown = ref 0 in
+  List.iter
+    (fun s ->
+      if !shown < top then begin
+        incr shown;
+        Ckpt_stats.Table.add_row table
+          [
+            s.name; string_of_int s.calls; Printf.sprintf "%.3f" (ms s.total_ns);
+            Printf.sprintf "%.3f" (ms s.self_ns);
+            Printf.sprintf "%.1f"
+              (if r.total_self_ns > 0.0 then 100.0 *. s.self_ns /. r.total_self_ns
+               else 0.0);
+            Printf.sprintf "%.3f" (ms s.max_ns);
+          ]
+      end)
+    r.stats;
+  Buffer.add_string buf (Ckpt_stats.Table.render table);
+  (match longest_root r.roots with
+  | None -> ()
+  | Some root ->
+      let path = critical_path root in
+      Buffer.add_string buf "\ncritical path (longest root, widest child at each level):\n";
+      List.iter
+        (fun node ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %*s%s  %.3f ms (%.1f%% of root)\n"
+               (2 * node.record.depth) "" node.record.name
+               (ms (ns node.record))
+               (if Int64.compare root.record.dur_ns 0L > 0 then
+                  100.0 *. ns node.record /. ns root.record
+                else 0.0)))
+        path);
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** Span-trace analysis: parse the JSONL stream the trace sink emits,
+    rebuild the span forest, and report where the time went.
+
+    Reconstruction uses the (tid, depth) fields of the flat records:
+    per domain track, a record at depth [d] is a child of the most
+    recent still-open record at depth [d-1]; instants become
+    zero-duration leaves. Feeding {!Span.records} through
+    {!Span.to_jsonl} and back through {!parse_jsonl} is the identity on
+    records (timestamps within float precision, see the implementation
+    note on 2^53).
+
+    Powers the [ckpt-obs report] CLI. *)
+
+type tree = { record : Span.record; children : tree list }
+
+type stat = {
+  name : string;
+  calls : int;
+  total_ns : float;  (** Sum of span durations (children included). *)
+  self_ns : float;  (** Durations minus direct children — the hot-span metric. *)
+  max_ns : float;
+}
+
+type report = {
+  roots : tree list;
+  stats : stat list;  (** Hot ranking: sorted by self time, descending. *)
+  root_wall_ns : float;  (** Sum of root-span durations. *)
+  total_self_ns : float;
+      (** Sum of self times over every span; equals [root_wall_ns] up
+          to float tolerance — self time partitions the root wall. *)
+  spans : int;
+  instants : int;
+}
+
+val parse_jsonl : string -> (Span.record list, string) result
+(** Parse a [.jsonl] trace (one record per line, blank lines ignored).
+    The error carries the offending line number. *)
+
+val build : Span.record list -> tree list
+(** Reconstruct the span forest, roots sorted by start time. *)
+
+val report : tree list -> report
+
+val critical_path : tree -> tree list
+(** Root-to-leaf chain following the longest-duration child at each
+    level (instants excluded). *)
+
+val longest_root : tree list -> tree option
+
+val render_report : ?top:int -> report -> string
+(** Human rendering: summary line, hot-span table (at most [top] rows,
+    default 20), and the critical path under the longest root. *)

@@ -1,14 +1,27 @@
 open Cmdliner
 
 let metrics_arg =
-  let fmt = Arg.enum [ ("table", Ckpt_obs.Sink.Table); ("json", Ckpt_obs.Sink.Json) ] in
+  let fmt =
+    Arg.enum
+      [
+        ("table", Ckpt_obs.Sink.Table); ("json", Ckpt_obs.Sink.Json);
+        ("openmetrics", Ckpt_obs.Sink.OpenMetrics);
+      ]
+  in
   let doc =
     "Print an engine-metrics snapshot on exit: runs, simulated failures, checkpoints, \
      re-executed work, DP memo hit rates, per-domain pool utilization. $(docv) is \
-     $(b,table) or $(b,json); the deterministic section is bit-identical for any \
-     --domains value at a fixed seed."
+     $(b,table), $(b,json) or $(b,openmetrics) (Prometheus text exposition); the \
+     deterministic section is bit-identical for any --domains value at a fixed seed."
   in
   Arg.(value & opt (some fmt) None & info [ "metrics" ] ~docv:"FMT" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the --metrics snapshot to $(docv) instead of stdout (e.g. an OpenMetrics \
+     scrape artifact that must not interleave with the report)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
 let trace_arg =
   let doc =
@@ -18,9 +31,9 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let setup metrics trace =
-  Option.iter Ckpt_obs.Sink.install_metrics metrics;
+let setup metrics metrics_out trace =
+  Option.iter (fun fmt -> Ckpt_obs.Sink.install_metrics ?path:metrics_out fmt) metrics;
   Option.iter Ckpt_obs.Sink.install_trace trace;
   Ckpt_obs.Sink.flush
 
-let term = Term.(const setup $ metrics_arg $ trace_arg)
+let term = Term.(const setup $ metrics_arg $ metrics_out_arg $ trace_arg)

@@ -1,10 +1,11 @@
 (** The shared observability flags of the CLI tools.
 
-    [--metrics table|json] prints a {!Ckpt_obs.Metrics} snapshot on
-    exit; [--trace FILE] enables span recording and writes the trace to
+    [--metrics table|json|openmetrics] prints a {!Ckpt_obs.Metrics}
+    snapshot on exit ([--metrics-out FILE] redirects it to a file);
+    [--trace FILE] enables span recording and writes the trace to
     [FILE] on exit (Chrome [trace_event] JSON, or JSON Lines when the
     path ends in [.jsonl]). *)
 
 val term : (unit -> unit) Cmdliner.Term.t
-(** Evaluates both flags, installs the matching {!Ckpt_obs.Sink}s, and
+(** Evaluates the flags, installs the matching {!Ckpt_obs.Sink}s, and
     yields the flush function the tool must call once before exiting. *)

@@ -1,0 +1,56 @@
+(* Coverage-guided seed sweep over the scenario registry.
+
+   The coverage universe is the set of cov.* counters registered in
+   this process: every Injector combinator branch registers its
+   counters when a scenario constructs it, and every monitor registers
+   its .pass counter when a run creates it (violation counters register
+   only when they fire — see Monitor). Running a scenario therefore
+   both *defines* the branches it could take and *covers* the ones it
+   did; the sweep keeps re-running the chosen scenarios at consecutive
+   seeds until every registered branch has fired or the seed budget is
+   exhausted. *)
+
+module Metrics = Ckpt_obs.Metrics
+
+let prefix = "cov."
+
+let is_cov name =
+  String.length name >= String.length prefix
+  && String.equal (String.sub name 0 (String.length prefix)) prefix
+
+(* All cov.* counters currently registered, with their merged values. *)
+let counters () =
+  List.filter_map
+    (fun (name, _, value) ->
+      match value with
+      | Metrics.Counter n when is_cov name -> Some (name, n)
+      | _ -> None)
+    (Metrics.snapshot ())
+
+let uncovered () = List.filter_map (fun (n, c) -> if c = 0 then Some n else None) (counters ())
+
+type outcome = {
+  seeds_used : int;  (** Consecutive seeds run, starting at [seed]. *)
+  covered : (string * int) list;  (** Every cov.* counter with its hit count. *)
+  uncovered : string list;  (** Registered branches that never fired. *)
+}
+
+let complete o = o.uncovered = []
+
+let default_budget = 64
+
+let sweep ?(budget = default_budget) ~scenarios ~seed () =
+  if budget < 1 then invalid_arg "Coverage.sweep: budget must be >= 1";
+  if scenarios = [] then invalid_arg "Coverage.sweep: no scenarios";
+  let used = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !used < budget do
+    let s = Int64.add seed (Int64.of_int !used) in
+    List.iter (fun t -> ignore (Scenario.run t ~seed:s)) scenarios;
+    incr used;
+    (* The universe can only grow while scenarios run, so checking after
+       each full registry pass is sound: a branch registered by pass k
+       is visible to every check from pass k on. *)
+    if uncovered () = [] then continue_ := false
+  done;
+  { seeds_used = !used; covered = counters (); uncovered = uncovered () }

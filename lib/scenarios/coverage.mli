@@ -1,0 +1,36 @@
+(** Coverage-guided seed sweep: run scenarios at consecutive seeds
+    until every registered [cov.*] counter is nonzero or a seed budget
+    is hit.
+
+    The universe is defined by registration: Injector combinators
+    register their branch counters at construction and monitors their
+    [.pass] counters at creation, so the universe of a sweep is exactly
+    the branches reachable by the scenarios it runs ([.violation]
+    counters register only when they fire, keeping 100% reachable for
+    honest engines). Surfaced as [ckpt-sim --scenario NAME --coverage]
+    and the [scenario-coverage] bench case. *)
+
+val counters : unit -> (string * int) list
+(** Every registered [cov.*] counter with its current merged value. *)
+
+val uncovered : unit -> string list
+(** The registered branches that have not fired yet. *)
+
+type outcome = {
+  seeds_used : int;  (** Consecutive seeds run, starting at [seed]. *)
+  covered : (string * int) list;  (** Every cov.* counter with its hit count. *)
+  uncovered : string list;  (** Registered branches that never fired. *)
+}
+
+val complete : outcome -> bool
+
+val default_budget : int
+(** 64 seeds. *)
+
+val sweep :
+  ?budget:int -> scenarios:Scenario.t list -> seed:int64 -> unit -> outcome
+(** Run every scenario in the list at [seed], [seed+1], … until
+    {!uncovered} is empty or [budget] seeds have been consumed. Does
+    not reset the registry: coverage accumulated by earlier runs in the
+    process counts (the CLI runs its digest-checked pass first and
+    sweeps from there). *)

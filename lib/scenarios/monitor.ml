@@ -19,6 +19,7 @@ let max_examples = 16
 
 type mon = {
   name : string;
+  pass_c : Ckpt_obs.Metrics.counter;
   mutable checks : int;
   mutable violations : int;
   mutable examples : violation list;  (* newest first, capped *)
@@ -44,7 +45,21 @@ type t = {
   started : (int, bool) Hashtbl.t;
 }
 
-let mon name = { name; checks = 0; violations = 0; examples = [] }
+(* Check-outcome coverage: cov.monitor.<name>.pass is registered as
+   soon as the monitor exists (a monitor whose checks never ran is
+   uncovered), while the .violation counter is registered lazily on the
+   first violation — honest engines must be able to reach 100% branch
+   coverage, and a registered-but-zero violation counter would make
+   that impossible by construction. Mutant-stream tests cover the
+   violation side. *)
+let mon name =
+  {
+    name;
+    pass_c = Ckpt_obs.Metrics.counter ("cov.monitor." ^ name ^ ".pass");
+    checks = 0;
+    violations = 0;
+    examples = [];
+  }
 
 let create spec =
   {
@@ -65,7 +80,10 @@ let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.max (Float.ab
 
 let check m ~time cond message =
   m.checks <- m.checks + 1;
-  if not cond then begin
+  if cond then Ckpt_obs.Metrics.incr m.pass_c
+  else begin
+    Ckpt_obs.Metrics.incr
+      (Ckpt_obs.Metrics.counter ("cov.monitor." ^ m.name ^ ".violation"));
     m.violations <- m.violations + 1;
     if List.length m.examples < max_examples then
       m.examples <- { monitor = m.name; time; message = message () } :: m.examples

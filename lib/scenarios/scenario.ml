@@ -274,6 +274,28 @@ let all =
             (Failure_stream.of_times (tie_burst_times (Rng.substream rng "trace"))));
     };
     {
+      name = "merged-phase-chain";
+      description =
+        "chain workload under the superposition (Injector.merge) of a \
+         checkpoint-I/O-coupled hazard and an independent exponential stream";
+      workload = chain_workload;
+      injector =
+        (fun ~phase rng ->
+          (* Two labelled substreams keep each source's draws independent
+             of the other's consumption — the superposition stays
+             reproducible even if one source's draw count changes. *)
+          Injector.merge
+            (Injector.exp_phase_modulated ~base_rate:0.006
+               ~multiplier:(function
+                 | Injector.Work -> 1.0
+                 | Injector.Checkpoint -> 12.0
+                 | Injector.Recovery -> 8.0
+                 | Injector.Downtime -> 0.0)
+               ~phase (Rng.substream rng "phase"))
+            (Injector.of_stream
+               (Failure_stream.poisson ~rate:0.012 (Rng.substream rng "poisson"))));
+    };
+    {
       name = "chain-periodic-policy";
       description =
         "12-task chain under the every-3rd-task checkpoint policy, exponential \

@@ -87,6 +87,12 @@ let run_range ?domains ?store ~base ~runs ~seed sample =
        derivation reads only the seed, never the generator position. *)
     let t_worker = Clock.now_ns () in
     let root = Rng.create ~seed in
+    (* Per-domain GC telemetry, sampled at batch boundaries so the
+       gc.* Timing metrics attribute allocation to pool work. Sampling
+       happens outside the batch collector scope: gc.* rows are
+       Timing kind and must never enter the deterministically-merged
+       Engine section. *)
+    let gc_probe = Ckpt_obs.Gc_telemetry.probe () in
     let rec loop () =
       if not (Atomic.get cancelled) then begin
         let b = Atomic.fetch_and_add next 1 in
@@ -115,6 +121,7 @@ let run_range ?domains ?store ~base ~runs ~seed sample =
                   Metrics.incr m_batches;
                   accs.(b) <- Some acc));
           mcols.(b) <- Some mcol;
+          Ckpt_obs.Gc_telemetry.sample gc_probe;
           busy_s.(d) <- busy_s.(d) +. Clock.elapsed_s t_batch;
           batches_done.(d) <- batches_done.(d) + 1;
           loop ()

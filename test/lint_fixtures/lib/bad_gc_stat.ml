@@ -1,0 +1,3 @@
+(* Fixture: no-direct-gc-stat — both direct GC reads are flagged. *)
+let words () = (Gc.quick_stat ()).Gc.minor_words
+let heap () = (Stdlib.Gc.stat ()).Gc.heap_words

@@ -1,0 +1,5 @@
+(* Fixture: no-direct-gc-stat — readings through the telemetry probe are
+   fine, as are unrelated Gc calls (compact is not a stat read). *)
+let probe = Ckpt_obs.Gc_telemetry.probe ()
+let sample () = Ckpt_obs.Gc_telemetry.sample probe
+let squeeze () = Gc.compact ()

@@ -266,6 +266,102 @@ let test_config_rejects () =
   rejects "unterminated array" "[bench]\nrequired_metrics = [\"a\",\n";
   rejects "malformed value" "[bench]\nsigma = fast\n"
 
+(* --- snapshot diff (the ckpt-obs diff engine) ----------------------- *)
+
+module Snapshot_diff = Ckpt_bench.Snapshot_diff
+
+let parse_doc s =
+  let path = Filename.temp_file "ckpt_snapdiff_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      Snapshot_diff.load path)
+
+let test_snapshot_diff_file_shapes () =
+  (* Bare --metrics json snapshot. *)
+  let bare = parse_doc {|{"metrics":{"mc.runs":1000},"timings":{"pool.wall_s":0.5}}|} in
+  Alcotest.(check int) "bare: engine rows" 1 (List.length bare.Snapshot_diff.engine);
+  (* The bench smoke's combined object. *)
+  let smoke =
+    parse_doc
+      {|{"bench":{"smoke":true},"metrics":{"mc.runs":1000},"timings":{}}|}
+  in
+  Alcotest.(check int) "smoke: engine rows" 1 (List.length smoke.Snapshot_diff.engine);
+  (* A full BENCH_<n>.json: snapshot nested under the top-level
+     "metrics" key, recognizable because that object itself carries
+     metrics/timings. *)
+  let bench =
+    parse_doc
+      {|{"schema_version":1,"meta":{},"cases":[],
+         "metrics":{"metrics":{"mc.runs":1000,"sim.failures":3},
+                    "timings":{"pool.wall_s":0.5}}}|}
+  in
+  Alcotest.(check int) "BENCH file: engine rows" 2 (List.length bench.Snapshot_diff.engine);
+  Alcotest.(check int) "BENCH file: timing rows" 1 (List.length bench.Snapshot_diff.timing);
+  match parse_doc {|{"cases":[]}|} with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "file without a snapshot should be rejected"
+
+let test_snapshot_diff_gating () =
+  let base =
+    parse_doc
+      {|{"metrics":{"steady":100,"drifty":100,"gone":5,"zero":0,
+                    "hist":{"count":10,"total":1.5}},
+         "timings":{"wall":1.0}}|}
+  in
+  let cand =
+    parse_doc
+      {|{"metrics":{"steady":109,"drifty":120,"zero":0,
+                    "hist":{"count":25,"total":9.9},"fresh":1},
+         "timings":{"wall":40.0}}|}
+  in
+  let r = Snapshot_diff.diff ~base cand in
+  let verdict name =
+    match List.find_opt (fun (row : Snapshot_diff.row) -> row.name = name) r.Snapshot_diff.rows with
+    | Some row -> Snapshot_diff.verdict_to_string row.Snapshot_diff.verdict
+    | None -> Alcotest.failf "no row for %s" name
+  in
+  Alcotest.(check string) "+9% within the 10% band" "ok" (verdict "steady");
+  Alcotest.(check string) "+20% drifts" "DRIFT" (verdict "drifty");
+  Alcotest.(check string) "removed engine metric gates" "MISSING" (verdict "gone");
+  Alcotest.(check string) "0 -> 0 matches" "ok" (verdict "zero");
+  Alcotest.(check string) "histograms compare by count" "DRIFT" (verdict "hist");
+  Alcotest.(check string) "new rows informational" "new" (verdict "fresh");
+  Alcotest.(check string) "timing 40x is still info" "info" (verdict "wall");
+  Alcotest.(check bool) "gate fails" false (Snapshot_diff.ok r);
+  Alcotest.(check int) "two drifts" 2 r.Snapshot_diff.drifted;
+  Alcotest.(check int) "one missing" 1 r.Snapshot_diff.removed;
+  (* Widening the band clears the numeric drifts but never the removal. *)
+  let wide = Snapshot_diff.diff ~max_change:2.0 ~base cand in
+  Alcotest.(check int) "wide band: no drift" 0 wide.Snapshot_diff.drifted;
+  Alcotest.(check bool) "missing still gates" false (Snapshot_diff.ok wide);
+  (* 0 -> nonzero cannot hide inside a relative band. *)
+  let base0 = parse_doc {|{"metrics":{"zero":0},"timings":{}}|} in
+  let cand0 = parse_doc {|{"metrics":{"zero":3},"timings":{}}|} in
+  let r0 = Snapshot_diff.diff ~max_change:99.0 ~base:base0 cand0 in
+  Alcotest.(check int) "0 -> 3 drifts at any band" 1 r0.Snapshot_diff.drifted
+
+let test_snapshot_diff_render () =
+  let base = parse_doc {|{"metrics":{"a":1,"b":10},"timings":{}}|} in
+  let cand = parse_doc {|{"metrics":{"a":1,"b":20},"timings":{}}|} in
+  let r = Snapshot_diff.diff ~base cand in
+  let out = Snapshot_diff.render r in
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "drifted row shown" true (contains out "DRIFT");
+  Alcotest.(check bool) "summary says FAIL" true (contains out "— FAIL");
+  Alcotest.(check bool) "matching row hidden by default" false (contains out "ok");
+  let all = Snapshot_diff.render ~all:true r in
+  Alcotest.(check bool) "matching row shown with ~all" true (contains all "ok");
+  let good = Snapshot_diff.render (Snapshot_diff.diff ~base base) in
+  Alcotest.(check bool) "clean diff says ok" true (contains good "— ok")
+
 (* --- obs integration ------------------------------------------------ *)
 
 let test_metrics_find () =
@@ -292,5 +388,9 @@ let suite =
     Alcotest.test_case "compare: bench.toml overrides" `Quick test_comparator_overrides;
     Alcotest.test_case "config: accepts and applies" `Quick test_config_accepts;
     Alcotest.test_case "config: rejects malformed input" `Quick test_config_rejects;
+    Alcotest.test_case "snapshot-diff: accepted file shapes" `Quick
+      test_snapshot_diff_file_shapes;
+    Alcotest.test_case "snapshot-diff: engine gating" `Quick test_snapshot_diff_gating;
+    Alcotest.test_case "snapshot-diff: rendering" `Quick test_snapshot_diff_render;
     Alcotest.test_case "obs: Metrics.find" `Quick test_metrics_find;
   ]

@@ -112,6 +112,10 @@ let test_span_scope =
   check_rule "span-scope-safety" ~bad:"bad_span_scope.ml" ~bad_count:2
     ~good:"good_span_scope.ml"
 
+let test_gc_stat =
+  check_rule "no-direct-gc-stat" ~bad:"bad_gc_stat.ml" ~bad_count:2
+    ~good:"good_gc_stat.ml"
+
 let test_banned =
   check_rule "banned-in-lib" ~bad:"bad_banned.ml" ~bad_count:4 ~good:"good_banned.ml"
 
@@ -196,6 +200,7 @@ let suite =
     Alcotest.test_case "rule: no-global-random" `Quick test_global_random;
     Alcotest.test_case "rule: unguarded-global-mutable" `Quick test_global_mutable;
     Alcotest.test_case "rule: span-scope-safety" `Quick test_span_scope;
+    Alcotest.test_case "rule: no-direct-gc-stat" `Quick test_gc_stat;
     Alcotest.test_case "rule: banned-in-lib" `Quick test_banned;
     Alcotest.test_case "driver: parse error diagnostic" `Quick test_parse_error;
     Alcotest.test_case "config: allowlist and severity overrides" `Quick

@@ -30,6 +30,7 @@ let () =
       ("rejuvenation", Test_rejuvenation.suite);
       ("scenarios", Test_scenarios.suite);
       ("obs", Test_obs.suite);
+      ("obs-tools", Test_obs_tools.suite);
       ("lint", Test_lint.suite);
       ("bench", Test_bench.suite);
     ]

@@ -154,6 +154,120 @@ let test_span_nesting_and_exception_unwinding () =
   Span.with_ ~name:"disabled" (fun () -> ());
   Alcotest.(check int) "no recording while disabled" 0 (List.length (Span.records ()))
 
+(* Regression: a hits/misses pair registered but never consulted used
+   to derive 0/0 = NaN; the contract is an unset gauge rendered n/a. *)
+let test_hit_rate_zero_over_zero () =
+  let _hits = Metrics.counter "test.coldcache_hits" in
+  let _misses = Metrics.counter "test.coldcache_misses" in
+  Metrics.reset ();
+  (match Metrics.find (Metrics.hit_rates (Metrics.snapshot ())) "test.coldcache_hit_rate" with
+  | Some (_, Metrics.Gauge None) -> ()
+  | Some (_, Metrics.Gauge (Some x)) ->
+      Alcotest.failf "0/0 hit rate derived %g instead of an unset gauge" x
+  | Some _ -> Alcotest.fail "derived hit-rate row is not a gauge"
+  | None -> Alcotest.fail "0/0 pair derived no hit-rate row at all");
+  let table = Metrics.render_table (Metrics.snapshot ()) in
+  Alcotest.(check bool) "row renders as n/a, not NaN" false (contains table "nan");
+  Metrics.reset ()
+
+let test_sink_flush_order_and_idempotency () =
+  let buf = Buffer.create 16 in
+  let sink tag () = Buffer.add_string buf tag in
+  Ckpt_obs.Sink.register ~name:"test-a" (sink "a");
+  Ckpt_obs.Sink.register ~name:"test-b" (sink "b");
+  Ckpt_obs.Sink.register ~name:"test-c" (sink "c");
+  (* Re-registering an unflushed sink keeps its registration slot. *)
+  Ckpt_obs.Sink.register ~name:"test-b" (sink "B");
+  Ckpt_obs.Sink.flush ();
+  Alcotest.(check string) "registration order, replacement moves to back" "acB"
+    (Buffer.contents buf);
+  Ckpt_obs.Sink.flush ();
+  Alcotest.(check string) "second flush is a no-op" "acB" (Buffer.contents buf);
+  Ckpt_obs.Sink.register ~name:"test-b" (sink "b2");
+  Ckpt_obs.Sink.flush ();
+  Alcotest.(check string) "re-registration re-arms just that sink" "acBb2"
+    (Buffer.contents buf)
+
+(* The per-domain depth counter must unwind on exception paths on every
+   domain, not just the one that ran the test harness. *)
+let test_span_exception_unwinding_across_domains () =
+  Span.reset ();
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Span.set_enabled false)
+    (fun () ->
+      let work () =
+        Span.with_ ~name:"outer" (fun () ->
+            (try
+               Span.with_ ~name:"boom" (fun () ->
+                   Span.with_ ~name:"deep" (fun () -> raise Exit))
+             with Exit -> ());
+            Span.with_ ~name:"sibling" (fun () -> ()));
+        Span.with_ ~name:"after" (fun () -> ())
+      in
+      let d1 = Domain.spawn work and d2 = Domain.spawn work in
+      Domain.join d1;
+      Domain.join d2;
+      work ());
+  let rs = Span.records () in
+  let tids = List.sort_uniq compare (List.map (fun r -> r.Span.tid) rs) in
+  Alcotest.(check int) "three recording domains" 3 (List.length tids);
+  List.iter
+    (fun tid ->
+      let on_tid name =
+        match
+          List.find_opt (fun r -> r.Span.tid = tid && r.Span.name = name) rs
+        with
+        | Some r -> r
+        | None -> Alcotest.failf "span %S missing on tid %d" name tid
+      in
+      Alcotest.(check int) "deep nested under boom" 2 (on_tid "deep").Span.depth;
+      Alcotest.(check int) "sibling back at depth 1" 1 (on_tid "sibling").Span.depth;
+      Alcotest.(check int) "after back at depth 0" 0 (on_tid "after").Span.depth;
+      Alcotest.(check (option string))
+        "raising span tagged" (Some "true")
+        (List.assoc_opt "raised" (on_tid "boom").Span.args))
+    tids;
+  Span.reset ()
+
+let test_gc_telemetry_probe () =
+  Metrics.reset ();
+  let probe = Ckpt_obs.Gc_telemetry.probe () in
+  (* Allocate, then force a minor collection: quick_stat's minor_words
+     only advances at collection boundaries, so an uncollected burst
+     would read as a zero delta. *)
+  let keep = ref [] in
+  for i = 1 to 50_000 do
+    keep := (i, float_of_int i) :: !keep
+  done;
+  ignore (Sys.opaque_identity !keep);
+  Gc.minor ();
+  Ckpt_obs.Gc_telemetry.sample probe;
+  let snap = Metrics.snapshot () in
+  (match Metrics.find snap "gc.minor_words" with
+  | Some (Metrics.Timing, Metrics.Sum w) ->
+      Alcotest.(check bool) "allocation visible in gc.minor_words" true (w > 0.0)
+  | Some _ -> Alcotest.fail "gc.minor_words has the wrong class or kind"
+  | None -> Alcotest.fail "gc.minor_words not registered");
+  (match Metrics.find snap "gc.heap_words" with
+  | Some (Metrics.Timing, Metrics.Gauge (Some w)) ->
+      Alcotest.(check bool) "heap gauge positive" true (w > 0.0)
+  | _ -> Alcotest.fail "gc.heap_words gauge not set by sample");
+  (* A second sample right away reports only the delta since the first —
+     in particular it must not double-count history. *)
+  let before =
+    match Metrics.find snap "gc.minor_words" with
+    | Some (_, Metrics.Sum w) -> w
+    | _ -> 0.0
+  in
+  Ckpt_obs.Gc_telemetry.sample probe;
+  (match Metrics.find (Metrics.snapshot ()) "gc.minor_words" with
+  | Some (_, Metrics.Sum w) ->
+      Alcotest.(check bool) "re-armed sample adds less than the first burst" true
+        (w -. before < before +. 1.0)
+  | _ -> Alcotest.fail "gc.minor_words disappeared");
+  Metrics.reset ()
+
 (* Golden exports on synthetic records: the Chrome shape is what
    Perfetto parses, so it is pinned byte for byte. *)
 let synthetic =
@@ -261,6 +375,13 @@ let suite =
     Alcotest.test_case "engine metrics bit-identical across domains" `Quick
       test_engine_metrics_identical_across_domains;
     Alcotest.test_case "derived hit-rate row" `Quick test_hit_rate_derived_row;
+    Alcotest.test_case "hit rate 0/0 derives an unset gauge" `Quick
+      test_hit_rate_zero_over_zero;
+    Alcotest.test_case "sink flush order and idempotency" `Quick
+      test_sink_flush_order_and_idempotency;
+    Alcotest.test_case "span exception unwinding across domains" `Quick
+      test_span_exception_unwinding_across_domains;
+    Alcotest.test_case "gc telemetry probe deltas" `Quick test_gc_telemetry_probe;
     Alcotest.test_case "DP transition counters agree" `Quick
       test_dp_transition_counters_agree;
     Alcotest.test_case "span nesting and exception unwinding" `Quick

@@ -1,0 +1,215 @@
+(* Tests for the offline observability tools: the JSONL trace reader
+   behind `ckpt-obs report` (round-trip with the span exporter, tree
+   reconstruction, self-time closure, critical path) and the
+   Prometheus/OpenMetrics exposition. *)
+
+module Metrics = Ckpt_obs.Metrics
+module Span = Ckpt_obs.Span
+module Trace_reader = Ckpt_obs.Trace_reader
+module Openmetrics = Ckpt_obs.Openmetrics
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  scan 0
+
+let span ?(args = []) ?(tid = 0) ~depth ~start_ms ~dur_ms name =
+  {
+    Span.name;
+    span_kind = (if dur_ms = 0 then Span.Instant else Span.Complete);
+    start_ns = Int64.of_int (start_ms * 1_000_000);
+    dur_ns = Int64.of_int (dur_ms * 1_000_000);
+    tid;
+    depth;
+    args;
+  }
+
+(* One synthetic track with known self times (ms):
+     run [0,10)                       self 10 - 4 - 5 = 1
+       phase-a [0,4)                  self 4 - 2     = 2
+         leaf [1,3)                   self            2
+       phase-b [5,10)                 self            5
+       mark (instant, zero self)
+     run2 [20,21)                     self            1   *)
+let golden =
+  [
+    span ~depth:0 ~start_ms:0 ~dur_ms:10 "run";
+    span ~depth:1 ~start_ms:0 ~dur_ms:4 "phase-a";
+    span ~depth:2 ~start_ms:1 ~dur_ms:2 ~args:[ ("k", {|v "q"|}) ] "leaf";
+    span ~depth:1 ~start_ms:5 ~dur_ms:5 "phase-b";
+    span ~depth:1 ~start_ms:6 ~dur_ms:0 "mark";
+    span ~depth:0 ~start_ms:20 ~dur_ms:1 "run2";
+  ]
+
+let ms x = float_of_int x *. 1e6
+
+let test_jsonl_round_trip () =
+  match Trace_reader.parse_jsonl (Span.to_jsonl golden) with
+  | Error msg -> Alcotest.failf "exporter output rejected: %s" msg
+  | Ok records ->
+      Alcotest.(check bool) "to_jsonl |> parse_jsonl is the identity" true
+        (records = golden)
+
+let test_parse_errors_carry_line_numbers () =
+  (match Trace_reader.parse_jsonl "{\"name\" 1}\n" with
+  | Error msg -> Alcotest.(check bool) "line 1 named" true (contains msg "line 1")
+  | Ok _ -> Alcotest.fail "malformed JSON accepted");
+  let one = Span.to_jsonl [ List.hd golden ] in
+  (match Trace_reader.parse_jsonl (one ^ "{\"kind\":\"span\"}\n") with
+  | Error msg -> Alcotest.(check bool) "line 2 named" true (contains msg "line 2")
+  | Ok _ -> Alcotest.fail "record missing fields accepted");
+  match Trace_reader.parse_jsonl (one ^ "\n\n" ^ one) with
+  | Ok [ _; _ ] -> ()
+  | Ok rs -> Alcotest.failf "blank lines mangled the parse: %d records" (List.length rs)
+  | Error msg -> Alcotest.failf "blank lines rejected: %s" msg
+
+let test_tree_reconstruction () =
+  let roots = Trace_reader.build golden in
+  Alcotest.(check int) "two roots" 2 (List.length roots);
+  let run = List.hd roots in
+  Alcotest.(check string) "first root by start time" "run" run.Trace_reader.record.Span.name;
+  Alcotest.(check (list string))
+    "children in start order"
+    [ "phase-a"; "phase-b"; "mark" ]
+    (List.map
+       (fun t -> t.Trace_reader.record.Span.name)
+       run.Trace_reader.children);
+  match run.Trace_reader.children with
+  | a :: _ ->
+      Alcotest.(check (list string))
+        "grandchild attached" [ "leaf" ]
+        (List.map (fun t -> t.Trace_reader.record.Span.name) a.Trace_reader.children)
+  | [] -> Alcotest.fail "phase-a lost its child"
+
+let test_self_time_closure_and_ranking () =
+  let r = Trace_reader.report (Trace_reader.build golden) in
+  Alcotest.(check int) "complete spans" 5 r.Trace_reader.spans;
+  Alcotest.(check int) "instants" 1 r.Trace_reader.instants;
+  Alcotest.(check (float 1e-6)) "root wall = 11ms" (ms 11) r.Trace_reader.root_wall_ns;
+  (* The acceptance invariant: self time partitions the root wall. *)
+  Alcotest.(check (float 1e-6))
+    "self times sum to the root wall" r.Trace_reader.root_wall_ns
+    r.Trace_reader.total_self_ns;
+  (match r.Trace_reader.stats with
+  | top :: _ ->
+      Alcotest.(check string) "hottest by self time" "phase-b" top.Trace_reader.name;
+      Alcotest.(check (float 1e-6)) "its self time" (ms 5) top.Trace_reader.self_ns
+  | [] -> Alcotest.fail "empty ranking");
+  let leaf = List.find (fun s -> s.Trace_reader.name = "leaf") r.Trace_reader.stats in
+  Alcotest.(check (float 1e-6)) "leaf self = total" leaf.Trace_reader.total_ns
+    leaf.Trace_reader.self_ns
+
+let test_critical_path () =
+  let roots = Trace_reader.build golden in
+  match Trace_reader.longest_root roots with
+  | None -> Alcotest.fail "no longest root"
+  | Some root ->
+      Alcotest.(check (list string))
+        "follows the longest child at each level"
+        [ "run"; "phase-b" ]
+        (List.map
+           (fun t -> t.Trace_reader.record.Span.name)
+           (Trace_reader.critical_path root))
+
+(* Interleaved domains: per-tid tracks must not steal each other's
+   children even when depths interleave in start-time order. *)
+let test_multi_domain_tracks () =
+  let records =
+    [
+      span ~tid:0 ~depth:0 ~start_ms:0 ~dur_ms:10 "d0-root";
+      span ~tid:1 ~depth:0 ~start_ms:1 ~dur_ms:10 "d1-root";
+      span ~tid:0 ~depth:1 ~start_ms:2 ~dur_ms:3 "d0-child";
+      span ~tid:1 ~depth:1 ~start_ms:2 ~dur_ms:4 "d1-child";
+    ]
+  in
+  let r = Trace_reader.report (Trace_reader.build records) in
+  Alcotest.(check (float 1e-6)) "both roots count" (ms 20) r.Trace_reader.root_wall_ns;
+  Alcotest.(check (float 1e-6)) "closure across tracks" r.Trace_reader.root_wall_ns
+    r.Trace_reader.total_self_ns;
+  List.iter
+    (fun root ->
+      Alcotest.(check int)
+        (root.Trace_reader.record.Span.name ^ " kept exactly its own child")
+        1
+        (List.length root.Trace_reader.children))
+    (Trace_reader.build records)
+
+(* Sibling reconstruction: a second depth-1 span after the first closed
+   must become a sibling, not a child of the closed one. *)
+let test_render_report_smoke () =
+  let out = Trace_reader.render_report ~top:3 (Trace_reader.report (Trace_reader.build golden)) in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " rendered") true (contains out needle))
+    [ "hot spans"; "phase-b"; "critical path"; "run" ]
+
+(* --- OpenMetrics ----------------------------------------------------- *)
+
+let test_openmetrics_exposition () =
+  let c = Metrics.counter "test.om_runs" in
+  let s = Metrics.sum "test.om_lost" in
+  let g = Metrics.gauge "test.om_level" in
+  let _unset = Metrics.gauge "test.om_unset" in
+  let h = Metrics.histogram "test.om_sizes" ~buckets:[| 1.0; 5.0 |] in
+  Metrics.reset ();
+  Metrics.incr ~by:7 c;
+  Metrics.add s 2.5;
+  Metrics.set g 0.75;
+  List.iter (Metrics.observe h) [ 0.5; 3.0; 4.0; 99.0 ];
+  let out = Openmetrics.render (Metrics.snapshot ()) in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains out needle))
+    [
+      (* names sanitized to the OpenMetrics charset and prefixed *)
+      "# TYPE ckpt_test_om_runs counter\n";
+      "ckpt_test_om_runs_total 7\n";
+      "# TYPE ckpt_test_om_lost gauge\n";
+      "ckpt_test_om_lost 2.5\n";
+      "ckpt_test_om_level 0.75\n";
+      (* histograms expose *cumulative* le buckets plus +Inf/_sum/_count *)
+      "# TYPE ckpt_test_om_sizes histogram\n";
+      "ckpt_test_om_sizes_bucket{le=\"1\"} 1\n";
+      "ckpt_test_om_sizes_bucket{le=\"5\"} 3\n";
+      "ckpt_test_om_sizes_bucket{le=\"+Inf\"} 4\n";
+      "ckpt_test_om_sizes_sum 106.5\n";
+      "ckpt_test_om_sizes_count 4\n";
+      (* an unset gauge is a legal zero-sample family *)
+      "# TYPE ckpt_test_om_unset gauge\n";
+    ]
+  ;
+  Alcotest.(check bool) "unset gauge emits no sample" false
+    (contains out "\nckpt_test_om_unset ");
+  Alcotest.(check bool) "mandatory EOF terminator" true
+    (String.ends_with ~suffix:"# EOF\n" out);
+  Metrics.reset ()
+
+let test_openmetrics_hit_rate_and_names () =
+  Alcotest.(check string) "dots sanitized, prefix added" "ckpt_mc_runs"
+    (Openmetrics.metric_name "mc.runs");
+  Alcotest.(check string) "dashes sanitized"
+    "ckpt_cov_monitor_makespan_bound_pass"
+    (Openmetrics.metric_name "cov.monitor.makespan-bound.pass");
+  let hits = Metrics.counter "test.om_lookup_hits" in
+  let _misses = Metrics.counter "test.om_lookup_misses" in
+  Metrics.reset ();
+  Metrics.incr ~by:3 hits;
+  let out = Openmetrics.render (Metrics.snapshot ()) in
+  Alcotest.(check bool) "derived hit-rate gauge exposed" true
+    (contains out "ckpt_test_om_lookup_hit_rate 1\n");
+  Metrics.reset ()
+
+let suite =
+  [
+    Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_round_trip;
+    Alcotest.test_case "parse errors carry line numbers" `Quick
+      test_parse_errors_carry_line_numbers;
+    Alcotest.test_case "tree reconstruction" `Quick test_tree_reconstruction;
+    Alcotest.test_case "self-time closure and hot ranking" `Quick
+      test_self_time_closure_and_ranking;
+    Alcotest.test_case "critical path" `Quick test_critical_path;
+    Alcotest.test_case "multi-domain tracks stay separate" `Quick
+      test_multi_domain_tracks;
+    Alcotest.test_case "report rendering smoke" `Quick test_render_report_smoke;
+    Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics_exposition;
+    Alcotest.test_case "openmetrics names and derived rows" `Quick
+      test_openmetrics_hit_rate_and_names;
+  ]

@@ -256,6 +256,62 @@ let test_monitor_verdict_bookkeeping () =
         (v.Monitor.checks > 0))
     verdicts
 
+(* {1 Coverage counters} *)
+
+let test_coverage_sweep_completes () =
+  (* The acceptance bar: every registered cov.* branch (injector
+     combinator arms, monitor outcomes) fires within the default seed
+     budget — in practice within a couple of seeds. *)
+  let o =
+    Ckpt_scenarios.Coverage.sweep ~scenarios:Scenario.all ~seed:42L ()
+  in
+  if not (Ckpt_scenarios.Coverage.complete o) then
+    Alcotest.failf "uncovered after %d seeds: %s" o.Ckpt_scenarios.Coverage.seeds_used
+      (String.concat ", " o.Ckpt_scenarios.Coverage.uncovered);
+  Alcotest.(check bool) "a real universe was measured" true
+    (List.length o.Ckpt_scenarios.Coverage.covered >= 10);
+  Alcotest.(check bool) "well within the default budget" true
+    (o.Ckpt_scenarios.Coverage.seeds_used <= 8);
+  (* Both injector-branch and monitor-outcome counters are present. *)
+  let names = List.map fst o.Ckpt_scenarios.Coverage.covered in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " registered") true (List.mem expected names))
+    [
+      "cov.injector.merge.left"; "cov.injector.masked.masked";
+      "cov.injector.aftershock.spawned"; "cov.injector.nhpp.accept";
+      "cov.injector.phase.pending"; "cov.monitor.monotone-timeline.pass";
+    ]
+(* No assertion on .violation counters here: they register lazily on
+   first fire, and the mutant-stream tests above deliberately fire them
+   in this very process. The fresh-process guarantee — an honest run
+   registers no .violation keys, so 100% stays reachable — is what
+   `ckpt-sim --scenario all --coverage` exercises in CI. *)
+
+let test_coverage_counters_deterministic () =
+  (* cov.* counters are Engine-kind: a scenario replayed at the same
+     seed must add exactly the same counts. *)
+  let s =
+    match Scenario.find "merged-phase-chain" with
+    | Some s -> s
+    | None -> Alcotest.fail "merged-phase-chain not registered"
+  in
+  let delta () =
+    let before = Ckpt_scenarios.Coverage.counters () in
+    ignore (Scenario.run s ~seed:99L);
+    List.filter_map
+      (fun (n, c) ->
+        let b = match List.assoc_opt n before with Some b -> b | None -> 0 in
+        if c - b > 0 then Some (n, c - b) else None)
+      (Ckpt_scenarios.Coverage.counters ())
+  in
+  let d1 = delta () in
+  let d2 = delta () in
+  Alcotest.(check bool) "replay adds identical branch counts" true (d1 = d2);
+  Alcotest.(check bool) "the merge scenario drives the merge combinator" true
+    (List.mem_assoc "cov.injector.merge.left" d1
+    || List.mem_assoc "cov.injector.merge.right" d1)
+
 let test_spec_of_workload_chain_bound () =
   (* The chain lower bound counts every periodic checkpoint plus the
      forced final one. *)
@@ -299,5 +355,8 @@ let suite =
     Alcotest.test_case "mutant: interrupted downtime" `Quick
       test_mutant_interrupted_downtime;
     Alcotest.test_case "verdict bookkeeping" `Quick test_monitor_verdict_bookkeeping;
+    Alcotest.test_case "coverage sweep reaches 100%" `Quick test_coverage_sweep_completes;
+    Alcotest.test_case "coverage counters deterministic" `Quick
+      test_coverage_counters_deterministic;
     Alcotest.test_case "chain workload spec" `Quick test_spec_of_workload_chain_bound;
   ]
