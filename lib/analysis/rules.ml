@@ -473,12 +473,30 @@ let banned_in_lib_fns =
         [ (f, why); ("Stdlib." ^ f, why) ])
       print_fns
 
+(* Socket/process I/O: confined to the serve boundary module so the
+   rest of lib/ stays deterministic and lint-checkable (the no-wall-clock
+   rule already pins the clock part of Unix). *)
+let unix_banned_message what =
+  Printf.sprintf
+    "%s is banned in lib/: Unix I/O is confined to the serve boundary \
+     (lib/serve/net.ml); go through Ckpt_serve.Net, or allowlist the module \
+     in lint.toml with a justification"
+    what
+
+let is_unix_lident txt =
+  (Rule.lident_head txt = "Unix"
+  || String.starts_with ~prefix:"Stdlib.Unix." (name_of txt))
+  (* The clock reads have their own rule (no-wall-clock) with a more
+     specific message; one finding per sin. *)
+  && not (List.mem (name_of txt) wall_clock_fns)
+
 let banned_in_lib : Rule.t =
   {
     name = "banned-in-lib";
     doc =
-      "Obj.magic, exit and Printf.printf/print_* in lib/: library code must \
-       not subvert types, kill the process, or write to stdout directly";
+      "Obj.magic, exit, Printf.printf/print_* and Unix.* in lib/: library \
+       code must not subvert types, kill the process, write to stdout \
+       directly, or do socket/process I/O outside the lib/serve boundary";
     default_severity = Diagnostic.Error;
     check =
       (fun ctx str ->
@@ -495,9 +513,22 @@ let banned_in_lib : Rule.t =
                     | Some why ->
                         ctx.Rule.emit ~loc:e.pexp_loc
                           (Printf.sprintf "%s is banned in lib/: %s" (name_of txt) why)
-                    | None -> ())
+                    | None ->
+                        if is_unix_lident txt then
+                          ctx.Rule.emit ~loc:e.pexp_loc
+                            (unix_banned_message (name_of txt)))
                 | _ -> ());
                 super#expression e
+
+              (* [module U = Unix] would launder every later [U.socket]
+                 past the ident check above. *)
+              method! module_expr me =
+                (match me.pmod_desc with
+                | Pmod_ident { txt; _ } when is_unix_lident txt ->
+                    ctx.Rule.emit ~loc:me.pmod_loc
+                      (unix_banned_message (name_of txt))
+                | _ -> ());
+                super#module_expr me
             end
           in
           visit#structure str);

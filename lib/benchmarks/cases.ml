@@ -9,6 +9,11 @@ module Brute_force = Ckpt_core.Brute_force
 module Sim_run = Ckpt_sim.Sim_run
 module Monte_carlo = Ckpt_sim.Monte_carlo
 module Failure_stream = Ckpt_failures.Failure_stream
+module Json = Ckpt_json.Json
+module Server = Ckpt_serve.Server
+module Client = Ckpt_serve.Client
+module Clock = Ckpt_obs.Clock
+module Metrics = Ckpt_obs.Metrics
 
 type kind = Micro of (unit -> unit) | Macro of { repeats : int; fn : unit -> unit }
 type case = { name : string; tags : string list; kind : kind }
@@ -43,6 +48,56 @@ let assert_mc_deterministic () =
     failwith
       (Printf.sprintf
          "Monte-Carlo determinism violated: mean %.17g at 1 domain, %.17g at 3" d1 d3)
+
+(* The serve benches run a real loopback socket round-trip: server
+   started and drained inside the timed call, so every invocation also
+   exercises graceful shutdown. The mix is sequential and deadline-free,
+   keeping the Engine-kind serve.* counters (requests, cache hits and
+   misses) bit-identical across machines for the drift gate; only the
+   latency histogram and the p99 gauge are Timing-kind. *)
+let serve_p99_ms = Metrics.gauge ~kind:Metrics.Timing "serve.p99_ms"
+
+let serve_chain_params k =
+  let n = 5 + ((k * 7) mod 20) in
+  Json.Obj
+    [
+      ("lambda", Json.Number (0.01 +. (float_of_int (k + 1) /. 150.0)));
+      ("downtime", Json.Number (float_of_int (k mod 3) /. 10.0));
+      ( "tasks",
+        Json.List
+          (List.init n (fun i ->
+               Json.Obj
+                 [
+                   ( "work",
+                     Json.Number
+                       (1.0 +. (float_of_int (((i + 1) * (k + 2) * 7919) mod 89) /. 11.0))
+                   );
+                   ( "checkpoint",
+                     Json.Number
+                       (0.1 +. (float_of_int (((i + 3) * (k + 1) * 104729) mod 19) /. 23.0))
+                   );
+                   ( "recovery",
+                     Json.Number
+                       (0.2 +. (float_of_int (((i + 4) * (k + 3) * 1299709) mod 13) /. 17.0))
+                   );
+                 ])) );
+    ]
+
+let serve_round_trip ~requests fn =
+  let server = Server.start { Server.default_config with workers = 2 } in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let client = Client.connect ~port:(Server.port server) () in
+      Fun.protect ~finally:(fun () -> Client.close client) (fun () ->
+          for r = 0 to requests - 1 do
+            fn client r
+          done))
+
+let serve_check_ok response =
+  match Json.member "ok" response with
+  | Some (Json.Bool true) -> ()
+  | _ -> failwith ("serve bench: request failed: " ^ Json.to_string response)
 
 let micro name tags fn = { name; tags; kind = Micro fn }
 let macro ?(repeats = 12) name tags fn = { name; tags; kind = Macro { repeats; fn } }
@@ -224,5 +279,42 @@ let all ~quick =
           (fun () -> ignore (mc_scaling_estimate ~quick ~domains)))
       [ 1; 2; 4; 8 ]
   in
+  (* The serving layer end to end (socket, framing, queue, worker pool,
+     plan cache). serve-throughput repeats a small instance family so
+     the cache serves most of the mix; serve-p99 measures per-request
+     round-trip latencies client-side and publishes the tail as the
+     serve.p99_ms gauge alongside the serve.latency_ms histogram. *)
+  let serve_cases =
+    let distinct = 6 in
+    let rounds = if quick then 3 else 8 in
+    [
+      macro ~repeats:6 "serve-throughput" [ "serve" ] (fun () ->
+          serve_round_trip ~requests:(distinct * rounds) (fun client r ->
+              serve_check_ok
+                (Client.call client
+                   ~id:(Printf.sprintf "bench-%d" r)
+                   ~params:(serve_chain_params (r mod distinct))
+                   "plan_chain")));
+      macro ~repeats:6 "serve-p99" [ "serve" ] (fun () ->
+          let latencies_ms =
+            Array.make (distinct * rounds) 0.0
+            [@lint.domain_safe "single-domain: filled and read by the bench driver only"]
+          in
+          serve_round_trip ~requests:(distinct * rounds) (fun client r ->
+              let elapsed_s, () =
+                Clock.time (fun () ->
+                    serve_check_ok
+                      (Client.call client
+                         ~id:(Printf.sprintf "p99-%d" r)
+                         ~params:(serve_chain_params (r mod distinct))
+                         "plan_chain"))
+              in
+              latencies_ms.(r) <- elapsed_s *. 1e3);
+          Array.sort Float.compare latencies_ms;
+          let n = Array.length latencies_ms in
+          let idx = Stdlib.min (n - 1) (int_of_float (ceil (0.99 *. float_of_int n)) - 1) in
+          Metrics.set serve_p99_ms latencies_ms.(idx));
+    ]
+  in
   kernels @ dp_scaling @ dp_dc_scaling @ dp_other @ dist @ sim_throughput
-  @ scenario_smoke @ scenario_coverage @ mc_pool
+  @ scenario_smoke @ scenario_coverage @ mc_pool @ serve_cases

@@ -1,0 +1,50 @@
+type 'a t = {
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity must be >= 1";
+  {
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+type push_result = Pushed | Full | Closed
+
+let try_push t item =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then Closed
+      else if Queue.length t.items >= t.capacity then Full
+      else begin
+        Queue.push item t.items;
+        Condition.signal t.not_empty;
+        Pushed
+      end)
+
+let pop t =
+  Mutex.protect t.lock (fun () ->
+      let rec wait () =
+        match Queue.take_opt t.items with
+        | Some item -> Some item
+        | None ->
+            if t.closed then None
+            else begin
+              Condition.wait t.not_empty t.lock;
+              wait ()
+            end
+      in
+      wait ())
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.not_empty)
+
+let length t = Mutex.protect t.lock (fun () -> Queue.length t.items)

@@ -1,0 +1,28 @@
+(** Mutex/condvar bounded FIFO between the server's accept loop and its
+    worker pool.
+
+    Pushes never block: the accept loop must answer with explicit
+    backpressure instead of stalling the event loop, so an over-capacity
+    push returns {!Full} and the caller emits the [queue_full] error
+    payload. Pops block until an item or until the queue is closed
+    {e and} drained — closing is how graceful shutdown guarantees every
+    accepted item is still handed to a worker. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+type push_result = Pushed | Full | Closed
+
+val try_push : 'a t -> 'a -> push_result
+(** Non-blocking; [Full] beyond capacity, [Closed] after {!close}. *)
+
+val pop : 'a t -> 'a option
+(** Blocks. [None] only when the queue is closed and empty; items
+    pushed before {!close} are always delivered (drain semantics). *)
+
+val close : 'a t -> unit
+(** Reject further pushes and wake blocked poppers; idempotent. *)
+
+val length : 'a t -> int

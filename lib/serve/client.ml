@@ -1,0 +1,34 @@
+module Json = Ckpt_json.Json
+
+type t = { fd : Net.fd; decoder : Protocol.Framing.decoder }
+
+exception Transport of string
+
+let connect ?(host = "127.0.0.1") ~port () =
+  { fd = Net.connect ~host ~port; decoder = Protocol.Framing.decoder () }
+
+let rpc t request =
+  let payload = Json.to_string (Protocol.request_to_json request) in
+  if not (Net.write_all t.fd (Protocol.Framing.encode payload)) then
+    raise (Transport "write failed (server gone?)");
+  let rec await () =
+    match Protocol.Framing.next t.decoder with
+    | Some (Protocol.Framing.Frame frame) -> (
+        match Json.parse_result frame with
+        | Ok json -> json
+        | Error msg -> raise (Transport ("unparsable response: " ^ msg)))
+    | Some (Protocol.Framing.Oversized n) ->
+        raise (Transport (Printf.sprintf "oversized response frame (%d bytes)" n))
+    | None -> (
+        match Net.read_chunk t.fd with
+        | None -> raise (Transport "connection closed by server")
+        | Some chunk ->
+            Protocol.Framing.feed t.decoder chunk;
+            await ())
+  in
+  await ()
+
+let call t ?timeout_ms ?(params = Json.Null) ~id method_ =
+  rpc t { Protocol.id; method_; timeout_ms; params }
+
+let close t = Net.close t.fd

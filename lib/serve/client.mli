@@ -1,0 +1,24 @@
+(** Minimal synchronous client for the ckpt-serve protocol: one
+    connection, one in-flight request at a time. This is what the CLI
+    smoke mode, the serve bench cases and the end-to-end tests speak —
+    production clients in other languages only need to reimplement the
+    framing (docs/SERVING.md). *)
+
+type t
+
+exception Transport of string
+(** Connection-level failure (closed socket, unparsable response
+    frame). Protocol-level errors are ordinary responses with
+    [ok = false], not exceptions. *)
+
+val connect : ?host:string -> port:int -> unit -> t
+
+val rpc : t -> Protocol.request -> Ckpt_json.Json.t
+(** Send, then block for the single response frame. *)
+
+val call :
+  t -> ?timeout_ms:int -> ?params:Ckpt_json.Json.t -> id:string -> string ->
+  Ckpt_json.Json.t
+(** [call t ~id method_] — convenience wrapper building the request. *)
+
+val close : t -> unit

@@ -1,0 +1,159 @@
+module Json = Ckpt_json.Json
+
+type error = { code : string; message : string; retry_after_ms : int option }
+
+let err ?retry_after_ms code message = { code; message; retry_after_ms }
+let bad_request message = err "bad_request" message
+let unknown_method m = err "unknown_method" (Printf.sprintf "unknown method %S" m)
+let parse_error message = err "parse_error" message
+
+let queue_full ~retry_after_ms =
+  err ~retry_after_ms "queue_full"
+    "request queue is full; retry after the indicated backoff"
+
+let deadline_exceeded message = err "deadline_exceeded" message
+let shutting_down () = err "shutting_down" "server is draining and accepts no new work"
+
+let oversized_frame ~size ~max_frame =
+  err "oversized_frame"
+    (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" size max_frame)
+
+let internal message = err "internal" message
+
+type request = {
+  id : string;
+  method_ : string;
+  timeout_ms : int option;
+  params : Json.t;
+}
+
+let parse_request json =
+  match json with
+  | Json.Obj _ -> (
+      let field name = Json.member name json in
+      match field "id" with
+      | Some (Json.String id) when id <> "" -> (
+          match field "method" with
+          | Some (Json.String method_) -> (
+              let params = Option.value (field "params") ~default:Json.Null in
+              match field "timeout_ms" with
+              | None | Some Json.Null -> Ok { id; method_; timeout_ms = None; params }
+              | Some v -> (
+                  match Json.to_int v with
+                  | Some ms when ms > 0 ->
+                      Ok { id; method_; timeout_ms = Some ms; params }
+                  | _ ->
+                      Error (bad_request "timeout_ms must be a positive integer")))
+          | _ -> Error (bad_request "request needs a string \"method\" field"))
+      | _ -> Error (bad_request "request needs a non-empty string \"id\" field"))
+  | _ -> Error (bad_request "request must be a JSON object")
+
+let request_to_json { id; method_; timeout_ms; params } =
+  Json.Obj
+    (("id", Json.String id)
+    :: ("method", Json.String method_)
+    :: (match timeout_ms with
+       | Some ms -> [ ("timeout_ms", Json.Number (float_of_int ms)) ]
+       | None -> [])
+    @ match params with Json.Null -> [] | p -> [ ("params", p) ])
+
+let ok_response ~id ?cache result =
+  Json.Obj
+    (("id", Json.String id)
+    :: ("ok", Json.Bool true)
+    :: (match cache with Some c -> [ ("cache", Json.String c) ] | None -> [])
+    @ [ ("result", result) ])
+
+let error_response ~id { code; message; retry_after_ms } =
+  let error_obj =
+    Json.Obj
+      (("code", Json.String code)
+      :: ("message", Json.String message)
+      ::
+      (match retry_after_ms with
+      | Some ms -> [ ("retry_after_ms", Json.Number (float_of_int ms)) ]
+      | None -> []))
+  in
+  Json.Obj
+    [
+      ("id", match id with Some id -> Json.String id | None -> Json.Null);
+      ("ok", Json.Bool false);
+      ("error", error_obj);
+    ]
+
+module Framing = struct
+  let default_max_frame = 1 lsl 20
+
+  let encode payload =
+    let n = String.length payload in
+    if n > 0x7fffffff then invalid_arg "Framing.encode: payload too large";
+    let header = Bytes.create 4 in
+    Bytes.set_uint8 header 0 ((n lsr 24) land 0xff);
+    Bytes.set_uint8 header 1 ((n lsr 16) land 0xff);
+    Bytes.set_uint8 header 2 ((n lsr 8) land 0xff);
+    Bytes.set_uint8 header 3 (n land 0xff);
+    Bytes.unsafe_to_string header ^ payload
+
+  type decoder = {
+    max_frame : int;
+    mutable buf : bytes;
+    mutable len : int;  (* valid bytes in [buf.[0 .. len-1]] *)
+    mutable off : int;  (* consumed prefix of the valid bytes *)
+    mutable dead : int option;  (* announced length that killed the stream *)
+  }
+
+  type event = Frame of string | Oversized of int
+
+  let decoder ?(max_frame = default_max_frame) () =
+    { max_frame; buf = Bytes.create 4096; len = 0; off = 0; dead = None }
+
+  let compact d =
+    if d.off > 0 then begin
+      let remaining = d.len - d.off in
+      Bytes.blit d.buf d.off d.buf 0 remaining;
+      d.len <- remaining;
+      d.off <- 0
+    end
+
+  let feed d chunk =
+    let n = String.length chunk in
+    if n > 0 && d.dead = None then begin
+      if d.len + n > Bytes.length d.buf then begin
+        compact d;
+        if d.len + n > Bytes.length d.buf then begin
+          let cap = Stdlib.max (d.len + n) (2 * Bytes.length d.buf) in
+          let grown = Bytes.create cap in
+          Bytes.blit d.buf 0 grown 0 d.len;
+          d.buf <- grown
+        end
+      end;
+      Bytes.blit_string chunk 0 d.buf d.len n;
+      d.len <- d.len + n
+    end
+
+  let buffered d = d.len - d.off
+
+  let next d =
+    match d.dead with
+    | Some n -> Some (Oversized n)
+    | None ->
+        if buffered d < 4 then None
+        else begin
+          let b i = Bytes.get_uint8 d.buf (d.off + i) in
+          let frame_len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+          if frame_len > d.max_frame then begin
+            d.dead <- Some frame_len;
+            Some (Oversized frame_len)
+          end
+          else if buffered d < 4 + frame_len then None
+          else begin
+            let payload = Bytes.sub_string d.buf (d.off + 4) frame_len in
+            d.off <- d.off + 4 + frame_len;
+            if d.off = d.len then begin
+              d.off <- 0;
+              d.len <- 0
+            end;
+            Some (Frame payload)
+          end
+        end
+end

@@ -1,0 +1,87 @@
+(** The ckpt-serve wire protocol (docs/SERVING.md): length-prefixed JSON
+    frames carrying planning requests and responses.
+
+    A frame is a 4-byte big-endian unsigned payload length followed by
+    that many bytes of UTF-8 JSON. The framing layer is independent of
+    JSON validity, so a malformed payload costs one error response, not
+    the connection; only an oversized length desynchronizes the stream
+    and forces a close.
+
+    This module is pure (no sockets — the Unix boundary is {!Net}), so
+    the grammar and the incremental decoder are unit-testable without a
+    server. *)
+
+type error = {
+  code : string;  (** Stable machine-readable identifier, see below. *)
+  message : string;  (** Human-oriented detail. *)
+  retry_after_ms : int option;
+      (** Present on [queue_full]: the client should back off at least
+          this long before retrying. *)
+}
+
+(** Error codes emitted by the server:
+    [oversized_frame], [parse_error], [bad_request], [unknown_method],
+    [queue_full] (carries [retry_after_ms]), [deadline_exceeded],
+    [shutting_down], [internal]. *)
+
+val bad_request : string -> error
+val unknown_method : string -> error
+val parse_error : string -> error
+val queue_full : retry_after_ms:int -> error
+val deadline_exceeded : string -> error
+val shutting_down : unit -> error
+val oversized_frame : size:int -> max_frame:int -> error
+val internal : string -> error
+
+type request = {
+  id : string;  (** Client-chosen correlation id, echoed verbatim. *)
+  method_ : string;
+  timeout_ms : int option;
+      (** Per-request deadline measured from acceptance; a request
+          popped after its deadline gets [deadline_exceeded]. *)
+  params : Ckpt_json.Json.t;  (** [Null] when absent. *)
+}
+
+val parse_request : Ckpt_json.Json.t -> (request, error) result
+(** Validates shape: [id] (non-empty string) and [method] (string) are
+    mandatory; [timeout_ms] must be a positive integer when present. *)
+
+val request_to_json : request -> Ckpt_json.Json.t
+(** Client-side serialization; [parse_request] round-trips it. *)
+
+val ok_response : id:string -> ?cache:string -> Ckpt_json.Json.t -> Ckpt_json.Json.t
+(** [{"id":ID,"ok":true,("cache":C,)?"result":RESULT}]. *)
+
+val error_response : id:string option -> error -> Ckpt_json.Json.t
+(** [{"id":ID|null,"ok":false,"error":{"code":..,"message":..
+    (,"retry_after_ms":..)?}}]. *)
+
+(** {1 Framing} *)
+
+module Framing : sig
+  val default_max_frame : int
+  (** 1 MiB. *)
+
+  val encode : string -> string
+  (** Prepend the 4-byte big-endian length. Raises [Invalid_argument]
+      on payloads above 2^31 - 1 bytes. *)
+
+  type decoder
+  (** Incremental frame extractor: feed arbitrary byte chunks, pull
+      complete payloads. *)
+
+  val decoder : ?max_frame:int -> unit -> decoder
+
+  type event =
+    | Frame of string  (** One complete payload. *)
+    | Oversized of int  (** Announced length beyond [max_frame]; the
+                            stream is desynchronized — close it. *)
+
+  val feed : decoder -> string -> unit
+  val next : decoder -> event option
+  (** [None] until a full frame is buffered. After [Oversized] every
+      subsequent [next] returns [Oversized] again. *)
+
+  val buffered : decoder -> int
+  (** Bytes currently held (tests). *)
+end

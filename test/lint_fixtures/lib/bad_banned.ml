@@ -1,5 +1,6 @@
-(* Fixture: banned-in-lib — all four are flagged. *)
+(* Fixture: banned-in-lib — all five are flagged. *)
 let coerce x = Obj.magic x
 let die () = exit 1
 let report n = Printf.printf "n=%d\n" n
 let shout s = print_endline s
+let sock () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0

@@ -117,7 +117,7 @@ let test_gc_stat =
     ~good:"good_gc_stat.ml"
 
 let test_banned =
-  check_rule "banned-in-lib" ~bad:"bad_banned.ml" ~bad_count:4 ~good:"good_banned.ml"
+  check_rule "banned-in-lib" ~bad:"bad_banned.ml" ~bad_count:5 ~good:"good_banned.ml"
 
 let test_parse_error () =
   match run [ "lib/bad_parse_error.ml" ] with
@@ -186,7 +186,7 @@ let test_text_summary () =
   let text = Output.render ~format:Output.Text diags in
   Alcotest.(check bool) "summary line present"
     true
-    (String.ends_with ~suffix:"ckpt-lint: 4 error(s), 0 warning(s)" text);
+    (String.ends_with ~suffix:"ckpt-lint: 5 error(s), 0 warning(s)" text);
   Alcotest.(check int) "clean summary"
     0
     (List.length (run [ "lib/good_banned.ml" ]))

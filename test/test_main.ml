@@ -33,4 +33,5 @@ let () =
       ("obs-tools", Test_obs_tools.suite);
       ("lint", Test_lint.suite);
       ("bench", Test_bench.suite);
+      ("serve", Test_serve.suite);
     ]
