@@ -235,6 +235,17 @@ let sync_primitives =
 
 let hashtbl_creators = [ "Hashtbl.create"; "Hashtbl.of_seq"; "Hashtbl.copy" ]
 
+(* Off-heap DP scratch (Dp_tables wraps Bigarray): mutable and shared
+   like any other table, but invisible to the GC and easy to mistake
+   for "just numbers". A top-level one is cross-domain shared state. *)
+let bigarray_creators =
+  [
+    "Bigarray.Array1.create"; "Bigarray.Array2.create"; "Bigarray.Array3.create";
+    "Bigarray.Genarray.create"; "Bigarray.Array1.init"; "Bigarray.Array2.init";
+    "Bigarray.Array3.init"; "Bigarray.Genarray.init"; "Dp_tables.floats";
+    "Dp_tables.ints";
+  ]
+
 let record_mutable_field ~mutable_fields (fields : (Longident.t loc * expression) list) =
   List.find_map
     (fun (({ txt; _ } : Longident.t loc), _) ->
@@ -251,6 +262,7 @@ let mutable_kind ~mutable_fields (e : expression) =
       | "ref" | "Stdlib.ref" -> Some "ref cell"
       | n when List.mem n sync_primitives -> None
       | n when List.mem n hashtbl_creators -> Some "hash table"
+      | n when List.mem n bigarray_creators -> Some "bigarray scratch buffer"
       | _ -> None)
   | Pexp_record (fields, _) -> (
       match record_mutable_field ~mutable_fields fields with
@@ -268,9 +280,9 @@ let unguarded_global_mutable : Rule.t =
   {
     name = "unguarded-global-mutable";
     doc =
-      "top-level refs/hash tables/mutable records (and closure-captured hash \
-       tables) in lib/ without a [@@lint.domain_safe \"reason\"] annotation: \
-       cross-domain races waiting to happen";
+      "top-level refs/hash tables/mutable records/bigarray scratch buffers (and \
+       closure-captured hash tables) in lib/ without a [@@lint.domain_safe \
+       \"reason\"] annotation: cross-domain races waiting to happen";
     default_severity = Diagnostic.Error;
     check =
       (fun ctx str ->

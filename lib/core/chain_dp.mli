@@ -1,16 +1,21 @@
 (** Algorithm 1 of the paper: the O(n²) dynamic program computing the
     optimal checkpoint placement for a linear chain (Proposition 3),
-    plus an O(n log² n)-transition divide-and-conquer solver for the
-    (generic) monotone-decision case.
+    plus an O(n log² n)-transition divide-and-conquer solver and a
+    linear-transition SMAWK solver for the (generic) monotone-decision
+    case, and a domain-parallel exhaustive sweep for the rest.
 
-    Three equivalent implementations are provided and cross-checked in
-    the test suite: a faithful transcription of the paper's memoized
+    Equivalent implementations are provided and cross-checked in the
+    test suite: a faithful transcription of the paper's memoized
     recursion (kept on the reference per-call [exp]/[expm1] evaluation,
-    the correctness oracle), a bottom-up iteration, and the monotone
-    divide and conquer. The bottom-up solvers evaluate transition costs
-    through the chain's precomputed {!Segment_cost} kernel —
-    multiplications only on the hot path — and run in O(n) space thanks
-    to prefix sums of the task weights. *)
+    the correctness oracle), a bottom-up iteration, the monotone divide
+    and conquer, the blocked SMAWK solver, and the parallel sweep. The
+    bottom-up solvers evaluate transition costs through the chain's
+    precomputed {!Segment_cost} kernel — multiplications only on the
+    hot path — keep their DP tables in flat off-heap {!Dp_tables}
+    structure-of-arrays storage (million-task tables never touch the
+    GC), and run in O(n) space thanks to prefix sums of the task
+    weights. See docs/KERNELS.md for the layout and the determinism
+    contracts. *)
 
 type solution = {
   expected_makespan : float;  (** Optimal expectation E(1, n). *)
@@ -45,6 +50,41 @@ val solve_dc : ?verify:bool -> Chain_problem.t -> solution
     [~verify:false] skips the check and forces the divide and conquer;
     the result is then only optimal if the instance really is monotone
     (benchmark/diagnostic use). *)
+
+val solve_smawk : ?verify:bool -> ?domains:int -> ?block:int -> Chain_problem.t -> solution
+(** Linear-transition solver: SMAWK row minima over the inverse-Monge
+    transition matrix, applied to blocks of [block] (default 256)
+    states processed right to left with a window that shrinks to the
+    leftmost argmin of each finished block. O(n·log block + Σ window
+    spans) transition evaluations — linear in n on checkpoint
+    instances, where optimal segment lengths grow like √n (the bench
+    suite gates the measured [dp.smawk_transitions] growth). Work is
+    counted by the [dp.smawk_states]/[dp.smawk_transitions] metrics (in
+    addition to the shared [dp.*] ones).
+
+    Agreement contract: identical transition expressions and a
+    leftmost-on-ties fold make the result {e bit-for-bit} equal to
+    {!solve} — expected makespan and schedule — whenever the
+    {!Segment_cost.supports_monotone_dc} certificate holds (the test
+    suite cross-checks this, including exact ties).
+
+    [verify] (default [true]) behaves like {!solve_dc}'s: when the
+    certificate fails, the solver counts a [dp.smawk_fallbacks] and
+    falls back to the exhaustive sweep — {!solve_par} with [domains]
+    when [domains > 1] is given, plain {!solve} otherwise. Raises
+    [Invalid_argument] if [block < 2]. *)
+
+val solve_par : ?domains:int -> Chain_problem.t -> solution
+(** The exhaustive O(n²) sweep, domain-parallel: each DP row's decision
+    range is cut on a fixed absolute chunk grid, chunks are claimed by
+    a persistent worker team and write disjoint slots, and the master
+    merges them in chunk order — so the result is {e bit-identical} to
+    {!solve} for any [domains] (default
+    [Domain_team.default_domains ()]). Metrics are counted by the
+    master only and equal {!solve}'s. Intended as the non-Monge
+    fallback path for large chains; short rows (and [domains = 1]) run
+    the sequential scan directly. Raises [Invalid_argument] if
+    [domains < 1]. *)
 
 val dp_values : Chain_problem.t -> float array
 (** [dp_values problem] is the table E of optimal expected times for

@@ -1,0 +1,27 @@
+(* Structure-of-arrays DP table storage on Bigarray (see the mli).
+   Thin by design: the point is one blessed place that creates the
+   off-heap tables every chain solver shares, so the allocation story
+   (and the lint rule guarding top-level scratch) stays auditable. *)
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let floats ?(init = 0.0) n : floats =
+  if n < 0 then invalid_arg "Dp_tables.floats: negative length";
+  let a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill a init;
+  a
+
+let ints ?(init = 0) n : ints =
+  if n < 0 then invalid_arg "Dp_tables.ints: negative length";
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill a init;
+  a
+
+let fget : floats -> int -> float = Bigarray.Array1.unsafe_get
+let fset : floats -> int -> float -> unit = Bigarray.Array1.unsafe_set
+let iget : ints -> int -> int = Bigarray.Array1.unsafe_get
+let iset : ints -> int -> int -> unit = Bigarray.Array1.unsafe_set
+
+let to_float_array (a : floats) =
+  Array.init (Bigarray.Array1.dim a) (Bigarray.Array1.get a)

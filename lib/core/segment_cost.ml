@@ -72,6 +72,26 @@ let growth t ~first ~last =
 
 let cost t ~first ~last = t.pre.(first) *. growth t ~first ~last
 
+(* Unchecked variants for DP inner loops whose loop structure already
+   establishes 0 <= first <= last < n. Same float expressions as
+   {!growth}/{!cost} — the solvers' bit-for-bit agreement contract
+   depends on that — only the bounds checks are elided. *)
+let growth_unsafe t ~first ~last =
+  let a =
+    Array.unsafe_get t.lam_prefix (last + 1)
+    -. Array.unsafe_get t.lam_prefix first
+    +. Array.unsafe_get t.lam_ckpt last
+  in
+  if t.tables && a >= t.small_threshold then
+    Array.unsafe_get t.e_prefix (last + 1)
+    *. Array.unsafe_get t.e_ckpt last
+    *. Array.unsafe_get t.inv_e_prefix first
+    -. 1.0
+  else Float.expm1 a
+
+let cost_unsafe t ~first ~last =
+  Array.unsafe_get t.pre first *. growth_unsafe t ~first ~last
+
 let reference_cost t ~first ~last =
   Expected_time.expected_unchecked
     ~work:(t.prefix_work.(last + 1) -. t.prefix_work.(first))

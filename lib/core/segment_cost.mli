@@ -73,6 +73,17 @@ val growth : t -> first:int -> last:int -> float
     position (the moldable-chain DP hoists its own
     [e^(λR)·(1/λ + D)] factor). Same guards as {!cost}. *)
 
+val cost_unsafe : t -> first:int -> last:int -> float
+(** Exactly {!cost} — same float expression, bit-for-bit — with the
+    array bounds checks elided ([Array.unsafe_get]). For DP inner loops
+    whose loop structure already establishes
+    [0 <= first <= last < size t]; passing anything else is undefined
+    behaviour. *)
+
+val growth_unsafe : t -> first:int -> last:int -> float
+(** Exactly {!growth} with bounds checks elided; same contract as
+    {!cost_unsafe}. *)
+
 val reference_cost : t -> first:int -> last:int -> float
 (** The reference evaluation — fresh [exp]/[expm1] per call, the exact
     code path of [Expected_time.expected_unchecked] — used by the

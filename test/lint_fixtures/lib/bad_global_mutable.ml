@@ -1,11 +1,13 @@
-(* Fixture: unguarded-global-mutable — five findings: three bare
-   top-level bindings, one annotation missing its reason string, and a
+(* Fixture: unguarded-global-mutable — six findings: four bare
+   top-level bindings (one of them an off-heap bigarray scratch
+   buffer), one annotation missing its reason string, and a
    function-local hash table. *)
 type state = { mutable hits : int; total : int }
 
 let registry = Hashtbl.create 16
 let count = ref 0
 let shared = { hits = 0; total = 0 }
+let scratch = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 64
 let missing_reason = ref [] [@@lint.domain_safe]
 
 let lookup tbl k =

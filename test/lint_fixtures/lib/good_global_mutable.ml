@@ -7,6 +7,10 @@ let lock = Mutex.create ()
 let registry = Hashtbl.create 16 [@@lint.domain_safe "mutex-held: all access under [lock]"]
 let count = Atomic.make 0
 
+let scratch =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 64
+[@@lint.domain_safe "init-before-spawn: filled once at startup, read-only after"]
+
 let totals xs =
   let acc = ref 0.0 in
   List.iter (fun x -> acc := !acc +. x) xs;

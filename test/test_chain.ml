@@ -202,6 +202,152 @@ let test_dc_fallback_on_nonmonotone () =
   | Some _ -> Alcotest.fail "dp.dc_fallbacks is not a counter"
   | None -> Alcotest.fail "dp.dc_fallbacks not recorded")
 
+(* --- SMAWK solver --------------------------------------------------- *)
+
+let bit_identical name (a : Chain_dp.solution) (b : Chain_dp.solution) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected makespan bit-for-bit (%.17g vs %.17g)" name
+       a.Chain_dp.expected_makespan b.Chain_dp.expected_makespan)
+    true
+    (Float.equal a.Chain_dp.expected_makespan b.Chain_dp.expected_makespan);
+  Alcotest.(check bool) (name ^ ": same placement") true
+    (Schedule.equal a.Chain_dp.schedule b.Chain_dp.schedule)
+
+let test_smawk_matches_solve () =
+  (* Bit-for-bit agreement — makespan AND schedule — on every fixture
+     family: the sample problem, random chains, and both extreme-rate
+     kernel modes. *)
+  bit_identical "sample" (Chain_dp.solve (sample_problem ()))
+    (Chain_dp.solve_smawk (sample_problem ()));
+  for seed = 1 to 12 do
+    let p = random_problem (Int64.of_int (seed + 9_100)) (1 + (13 * seed)) in
+    bit_identical
+      (Printf.sprintf "seed %d" seed)
+      (Chain_dp.solve p) (Chain_dp.solve_smawk p)
+  done;
+  let works = List.init 16 (fun i -> 1.0 +. float_of_int (i mod 5)) in
+  List.iter
+    (fun (name, lambda) ->
+      let p =
+        Chain_problem.uniform ~downtime:0.1 ~lambda ~checkpoint:0.3 ~recovery:0.4 works
+      in
+      bit_identical name (Chain_dp.solve p) (Chain_dp.solve_smawk p))
+    [ ("tiny lambda", 1e-8); ("large lambda", 3.0) ]
+
+let test_smawk_ties_and_blocks () =
+  (* Uniform chains maximise exact float ties between candidate
+     splits; the leftmost-on-ties fold must still reproduce solve's
+     scan. Block size must not matter either. *)
+  List.iter
+    (fun n ->
+      let p =
+        Chain_problem.uniform ~downtime:0.2 ~lambda:(10.0 /. float_of_int n)
+          ~checkpoint:0.1 ~recovery:0.2
+          (List.init n (fun _ -> 1.0))
+      in
+      bit_identical (Printf.sprintf "uniform n=%d" n) (Chain_dp.solve p)
+        (Chain_dp.solve_smawk p))
+    [ 1; 2; 3; 17; 100; 257 ];
+  let p = random_problem 4_242L 500 in
+  let reference = Chain_dp.solve p in
+  List.iter
+    (fun block ->
+      bit_identical
+        (Printf.sprintf "block=%d" block)
+        reference
+        (Chain_dp.solve_smawk ~block p))
+    [ 2; 3; 7; 64; 1024 ];
+  Alcotest.check_raises "block bounds checked"
+    (Invalid_argument "Chain_dp.solve_smawk: block must be >= 2") (fun () ->
+      ignore (Chain_dp.solve_smawk ~block:1 p))
+
+let test_smawk_fallback_on_nonmonotone () =
+  (* Same spike instance as the dc fallback test: solve_smawk must
+     detect the broken certificate, count dp.smawk_fallbacks, and
+     return exactly solve's answer — through the parallel sweep too. *)
+  let tasks =
+    List.mapi
+      (fun i w ->
+        Task.make ~id:i
+          ~name:(Printf.sprintf "T%d" (i + 1))
+          ~work:w ~checkpoint_cost:0.5
+          ~recovery_cost:(if i = 3 then 50.0 else 0.5)
+          ())
+      [ 2.0; 3.0; 2.0; 4.0; 2.0; 3.0; 2.0; 5.0 ]
+  in
+  let p = Chain_problem.make ~downtime:0.2 ~lambda:0.2 tasks in
+  Ckpt_obs.Metrics.reset ();
+  let dp = Chain_dp.solve p in
+  bit_identical "fallback (sequential)" dp (Chain_dp.solve_smawk p);
+  bit_identical "fallback (parallel sweep)" dp (Chain_dp.solve_smawk ~domains:4 p);
+  let snapshot = Ckpt_obs.Metrics.snapshot () in
+  let counter name =
+    match Ckpt_obs.Metrics.find snapshot name with
+    | Some (_, Ckpt_obs.Metrics.Counter n) -> n
+    | Some _ -> Alcotest.fail (name ^ " is not a counter")
+    | None -> Alcotest.fail (name ^ " not recorded")
+  in
+  Alcotest.(check int) "two smawk fallbacks counted" 2 (counter "dp.smawk_fallbacks");
+  (* Both fallback counters are registered at module init, so they are
+     present in every snapshot (hence in `--metrics` output) even when
+     never incremented in this process run. *)
+  Alcotest.(check int) "dc fallback counter present and untouched" 0
+    (counter "dp.dc_fallbacks")
+
+let test_solve_par_matches_solve () =
+  (* Chunked parallel sweep: bit-identical to solve for any domain
+     count, including rows split across several chunks (n beyond two
+     grid cells exercises the team path). *)
+  let p = random_problem 31_337L 700 in
+  let reference = Chain_dp.solve p in
+  List.iter
+    (fun domains ->
+      bit_identical
+        (Printf.sprintf "domains=%d" domains)
+        reference
+        (Chain_dp.solve_par ~domains p))
+    [ 1; 2; 4; 8 ]
+
+let qcheck_smawk_agreement =
+  (* Cross-solver agreement property: solve_smawk ≡ solve_dc ≡ solve on
+     random Monge instances and on adversarial non-Monge ones (random
+     recovery spikes force the counted fallback path). solve_smawk is
+     held to bit-for-bit equality including the schedule (its
+     leftmost-on-ties fold reproduces solve's scan exactly); solve_dc
+     keeps its documented guarantee — equal makespan to float rounding
+     and an equally-optimal placement whose ties may resolve to a
+     different (equal-cost) index. *)
+  QCheck.Test.make ~name:"smawk = dc = iterative DP (Monge and non-Monge)" ~count:120
+    QCheck.(triple (int_range 1 80) (int_range 0 10_000) bool)
+    (fun (n, seed, spike) ->
+      let p0 = random_problem (Int64.of_int (seed + 314_000)) n in
+      let p =
+        if not spike then p0
+        else begin
+          (* Knock out the certificate with a recovery spike wider than
+             any task weight. *)
+          let tasks =
+            List.mapi
+              (fun i (t : Task.t) ->
+                if i = n / 2 then
+                  Task.with_costs t ~checkpoint_cost:t.Task.checkpoint_cost
+                    ~recovery_cost:(t.Task.recovery_cost +. 1_000.0)
+                else t)
+              (Array.to_list p0.Chain_problem.tasks)
+          in
+          Chain_problem.make ~downtime:0.3 ~initial_recovery:0.5
+            ~lambda:p0.Chain_problem.lambda tasks
+        end
+      in
+      let dp = Chain_dp.solve p in
+      let smawk = Chain_dp.solve_smawk p in
+      let dc = Chain_dp.solve_dc p in
+      Float.equal smawk.Chain_dp.expected_makespan dp.Chain_dp.expected_makespan
+      && Schedule.equal smawk.Chain_dp.schedule dp.Chain_dp.schedule
+      && Float.abs (dc.Chain_dp.expected_makespan -. dp.Chain_dp.expected_makespan)
+         <= 1e-9 *. dp.Chain_dp.expected_makespan
+      && Schedule.equal dc.Chain_dp.schedule smawk.Chain_dp.schedule)
+
 let qcheck_dc_matches_solve =
   QCheck.Test.make ~name:"divide-and-conquer = iterative DP on random chains" ~count:80
     QCheck.(pair (int_range 1 60) (int_range 0 10_000))
@@ -404,6 +550,11 @@ let suite =
       test_dc_extreme_rates;
     Alcotest.test_case "divide-and-conquer fallback" `Quick
       test_dc_fallback_on_nonmonotone;
+    Alcotest.test_case "SMAWK = iterative DP" `Quick test_smawk_matches_solve;
+    Alcotest.test_case "SMAWK ties and block sizes" `Quick test_smawk_ties_and_blocks;
+    Alcotest.test_case "SMAWK fallback" `Quick test_smawk_fallback_on_nonmonotone;
+    Alcotest.test_case "parallel sweep = iterative DP" `Quick
+      test_solve_par_matches_solve;
     Alcotest.test_case "DP at extreme failure rates" `Quick test_dp_extreme_rates;
     Alcotest.test_case "DP value table" `Quick test_dp_values_structure;
     Alcotest.test_case "first segment end (numTask)" `Quick test_first_segment_end;
@@ -414,6 +565,7 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_budget_matches_filtered_brute_force;
     QCheck_alcotest.to_alcotest qcheck_dp_optimal;
     QCheck_alcotest.to_alcotest qcheck_dc_matches_solve;
+    QCheck_alcotest.to_alcotest qcheck_smawk_agreement;
     QCheck_alcotest.to_alcotest qcheck_dp_below_heuristics;
     QCheck_alcotest.to_alcotest qcheck_schedule_segments_cover;
   ]

@@ -105,7 +105,7 @@ let test_global_random =
     ~good:"good_global_random.ml"
 
 let test_global_mutable =
-  check_rule "unguarded-global-mutable" ~bad:"bad_global_mutable.ml" ~bad_count:5
+  check_rule "unguarded-global-mutable" ~bad:"bad_global_mutable.ml" ~bad_count:6
     ~good:"good_global_mutable.ml"
 
 let test_span_scope =

@@ -363,7 +363,8 @@ let test_json_snapshot_parses () =
   List.iter
     (fun key ->
       Alcotest.(check bool) (key ^ " present") true (contains json ("\"" ^ key ^ "\"")))
-    [ "metrics"; "timings"; "mc.runs"; "sim.failures"; "dp.memo_hits" ]
+    [ "metrics"; "timings"; "mc.runs"; "sim.failures"; "dp.memo_hits";
+      "dp.dc_fallbacks"; "dp.smawk_fallbacks" ]
 
 let suite =
   [
